@@ -1,0 +1,225 @@
+// Shared scaffolding for the figure benches: type-erased set/queue
+// adapters over every evaluated implementation, the thread series, and a
+// helper that runs one data point and reports it both through
+// google-benchmark counters and as a paper-style table row.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/capsules_list.hpp"
+#include "baselines/capsules_queue.hpp"
+#include "baselines/harris_list.hpp"
+#include "baselines/log_queue.hpp"
+#include "baselines/ms_queue.hpp"
+#include "ds/dt_list.hpp"
+#include "ds/isb_list.hpp"
+#include "ds/isb_queue.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+#include "pmem/persist.hpp"
+
+namespace repro::bench {
+
+// ---------------------------------------------------------------------
+// Set (linked list) adapters
+// ---------------------------------------------------------------------
+
+struct SetIface {
+  virtual ~SetIface() = default;
+  virtual bool insert(std::int64_t k) = 0;
+  virtual bool erase(std::int64_t k) = 0;
+  virtual bool find(std::int64_t k) = 0;
+};
+
+template <typename L>
+struct SetAdapter final : SetIface {
+  L impl;
+  template <typename... Args>
+  explicit SetAdapter(Args&&... args)
+      : impl(static_cast<Args&&>(args)...) {}
+  bool insert(std::int64_t k) override { return impl.insert(k); }
+  bool erase(std::int64_t k) override { return impl.erase(k); }
+  bool find(std::int64_t k) override { return impl.find(k); }
+};
+
+struct SetAlgo {
+  std::string name;
+  std::function<std::unique_ptr<SetIface>()> make;
+};
+
+// The paper's evaluated list algorithms (Section 5 naming).
+inline std::vector<SetAlgo> paper_list_algos() {
+  using repro::baselines::CapsulesList;
+  using repro::ds::DtList;
+  using repro::ds::IsbList;
+  using repro::ds::PersistProfile;
+  return {
+      {"Isb",
+       [] {
+         IsbList::Config c;
+         c.profile = PersistProfile::general;
+         return std::make_unique<SetAdapter<IsbList>>(c);
+       }},
+      {"Isb-Opt",
+       [] {
+         IsbList::Config c;
+         c.profile = PersistProfile::optimized;
+         return std::make_unique<SetAdapter<IsbList>>(c);
+       }},
+      {"Capsules",
+       [] {
+         return std::make_unique<SetAdapter<CapsulesList>>(
+             CapsulesList::Variant::general);
+       }},
+      {"Capsules-Opt",
+       [] {
+         return std::make_unique<SetAdapter<CapsulesList>>(
+             CapsulesList::Variant::optimized);
+       }},
+      {"DT-Opt",
+       [] {
+         return std::make_unique<SetAdapter<DtList>>(
+             PersistProfile::optimized);
+       }},
+  };
+}
+
+inline SetAlgo harris_algo() {
+  return {"Harris-LL", [] {
+            return std::make_unique<SetAdapter<baselines::HarrisList>>();
+          }};
+}
+
+inline SetAlgo dt_general_algo() {
+  return {"DT", [] {
+            return std::make_unique<SetAdapter<repro::ds::DtList>>(
+                repro::ds::PersistProfile::general);
+          }};
+}
+
+// ---------------------------------------------------------------------
+// Data-point execution
+// ---------------------------------------------------------------------
+
+inline std::vector<int> thread_series() {
+  std::vector<int> s;
+  for (int t = 1; t <= harness::max_threads(); t *= 2) s.push_back(t);
+  return s;
+}
+
+// Runs the paper's set benchmark on one algorithm / key range / mix /
+// thread count; prefills to ~40% and measures for REPRO_BENCH_MS.
+inline harness::RunResult run_set_point(const SetAlgo& algo,
+                                        std::int64_t key_range,
+                                        harness::Mix mix, int threads) {
+  auto set = algo.make();
+  harness::prefill(*set, key_range);
+  const harness::Workload w{key_range, mix};
+  return harness::run_threads(threads, [&](int, harness::Rng& rng) {
+    const auto key = w.pick_key(rng);
+    switch (w.pick_op(rng)) {
+      case harness::OpType::insert:
+        benchmark::DoNotOptimize(set->insert(key));
+        break;
+      case harness::OpType::erase:
+        benchmark::DoNotOptimize(set->erase(key));
+        break;
+      case harness::OpType::find:
+        benchmark::DoNotOptimize(set->find(key));
+        break;
+    }
+  });
+}
+
+// Publishes a run through google-benchmark state counters.
+inline void publish(benchmark::State& state, const harness::RunResult& r) {
+  state.counters["ops_per_sec"] = r.ops_per_sec;
+  state.counters["barriers_per_op"] = r.barriers_per_op;
+  state.counters["flushes_per_op"] = r.flushes_per_op;
+  state.counters["psyncs_per_op"] = r.psyncs_per_op;
+  state.SetItemsProcessed(static_cast<std::int64_t>(r.total_ops));
+}
+
+// ---------------------------------------------------------------------
+// Queue adapters
+// ---------------------------------------------------------------------
+
+struct QueueIface {
+  virtual ~QueueIface() = default;
+  virtual void enqueue(std::uint64_t v) = 0;
+  virtual bool dequeue(std::uint64_t& out) = 0;
+};
+
+template <typename Q>
+struct QueueAdapter final : QueueIface {
+  Q impl;
+  template <typename... Args>
+  explicit QueueAdapter(Args&&... args)
+      : impl(static_cast<Args&&>(args)...) {}
+  void enqueue(std::uint64_t v) override { impl.enqueue(v); }
+  bool dequeue(std::uint64_t& out) override {
+    if constexpr (std::is_same_v<Q, baselines::MsQueue>) {
+      return impl.dequeue(out);
+    } else {
+      auto r = impl.dequeue();
+      out = r.value;
+      return r.ok;
+    }
+  }
+};
+
+struct QueueAlgo {
+  std::string name;
+  std::function<std::unique_ptr<QueueIface>()> make;
+};
+
+inline std::vector<QueueAlgo> paper_queue_algos() {
+  using repro::baselines::CapsulesQueue;
+  using repro::baselines::LogQueue;
+  using repro::ds::IsbQueue;
+  return {
+      {"Isb-Queue",
+       [] { return std::make_unique<QueueAdapter<IsbQueue>>(); }},
+      {"Log-Queue",
+       [] { return std::make_unique<QueueAdapter<LogQueue>>(); }},
+      {"Capsules-General",
+       [] {
+         return std::make_unique<QueueAdapter<CapsulesQueue>>(
+             CapsulesQueue::Variant::general);
+       }},
+      {"Capsules-Normal",
+       [] {
+         return std::make_unique<QueueAdapter<CapsulesQueue>>(
+             CapsulesQueue::Variant::normalized);
+       }},
+  };
+}
+
+inline QueueAlgo ms_queue_algo() {
+  return {"MS-Queue", [] {
+            return std::make_unique<QueueAdapter<baselines::MsQueue>>();
+          }};
+}
+
+// Enqueue/dequeue pairs (the paper's queue benchmark), prefilled.
+inline harness::RunResult run_queue_point(const QueueAlgo& algo,
+                                          std::size_t prefill, int threads) {
+  auto q = algo.make();
+  for (std::size_t i = 0; i < prefill; ++i) {
+    q->enqueue(static_cast<std::uint64_t>(i));
+  }
+  return harness::run_threads(threads, [&](int, harness::Rng& rng) {
+    q->enqueue(rng.next());
+    std::uint64_t out = 0;
+    benchmark::DoNotOptimize(q->dequeue(out));
+  });
+}
+
+}  // namespace repro::bench
