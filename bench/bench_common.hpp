@@ -164,14 +164,12 @@ struct QueueAdapter final : QueueIface {
   explicit QueueAdapter(Args&&... args)
       : impl(static_cast<Args&&>(args)...) {}
   void enqueue(std::uint64_t v) override { impl.enqueue(v); }
+  // Every queue, including the volatile MS-queue baseline, returns the
+  // unified ds::DequeueResult, so one adapter body covers them all.
   bool dequeue(std::uint64_t& out) override {
-    if constexpr (std::is_same_v<Q, baselines::MsQueue>) {
-      return impl.dequeue(out);
-    } else {
-      auto r = impl.dequeue();
-      out = r.value;
-      return r.ok;
-    }
+    const auto r = impl.dequeue();
+    out = r.value;
+    return r.ok;
   }
 };
 

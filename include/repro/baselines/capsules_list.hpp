@@ -1,0 +1,30 @@
+// Harris list under the capsules transformation (Ben-David et al.),
+// the paper's main point of comparison for lists.  Variant::general
+// checkpoints a persistent continuation capsule at every shared read;
+// Variant::optimized only at helping points and CASes.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/ds/harris_core.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::baselines {
+
+class CapsulesList {
+ public:
+  using Variant = repro::ds::CapsulesPolicy::Variant;
+
+  explicit CapsulesList(Variant v = Variant::general) : core_(v) {}
+
+  bool insert(std::int64_t key) { return core_.insert(key); }
+  bool erase(std::int64_t key) { return core_.erase(key); }
+  bool find(std::int64_t key) { return core_.find(key); }
+
+  std::size_t size_slow() const { return core_.size_slow(); }
+
+ private:
+  repro::ds::HarrisListCore<repro::ds::CapsulesPolicy> core_;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,27 @@
+// Michael-Scott queue under the capsules transformation.  Figure 7
+// plots Variant::general and Variant::normalized (the normalized
+// three-phase form pays extra capsule boundaries per CAS);
+// Variant::optimized is available for completeness.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/ds/msqueue_core.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::baselines {
+
+class CapsulesQueue {
+ public:
+  using Variant = repro::ds::CapsulesPolicy::Variant;
+
+  explicit CapsulesQueue(Variant v = Variant::general) : core_(v) {}
+
+  void enqueue(std::uint64_t value) { core_.enqueue(value); }
+  repro::ds::DequeueResult dequeue() { return core_.dequeue(); }
+
+ private:
+  repro::ds::MsQueueCore<repro::ds::CapsulesPolicy> core_;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,12 @@
+// The original (volatile, non-recoverable) Harris lock-free list: the
+// no-op-policy instantiation of the shared core.  Included in Figure 4
+// to show the raw cost each detectable transformation adds.
+#pragma once
+
+#include "repro/ds/harris_core.hpp"
+
+namespace repro::baselines {
+
+using HarrisList = repro::ds::HarrisListCore<repro::ds::NullPolicy>;
+
+}  // namespace repro::baselines

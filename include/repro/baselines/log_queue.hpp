@@ -1,0 +1,25 @@
+// Log-queue baseline: the Michael-Scott queue made recoverable by a
+// per-thread persistent intent log — each operation persists a log
+// record before touching the queue and completes it afterwards, costing
+// one more pwb/pfence pair per operation than the tracking queue.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/ds/msqueue_core.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::baselines {
+
+class LogQueue {
+ public:
+  LogQueue() = default;
+
+  void enqueue(std::uint64_t value) { core_.enqueue(value); }
+  repro::ds::DequeueResult dequeue() { return core_.dequeue(); }
+
+ private:
+  repro::ds::MsQueueCore<repro::ds::LogPolicy> core_;
+};
+
+}  // namespace repro::baselines

@@ -1,0 +1,12 @@
+// The original (volatile) Michael-Scott queue.  Conforms to the same
+// queue concept as every recoverable queue — dequeue() returns the
+// unified DequeueResult — so the bench adapters need no special case.
+#pragma once
+
+#include "repro/ds/msqueue_core.hpp"
+
+namespace repro::baselines {
+
+using MsQueue = repro::ds::MsQueueCore<repro::ds::NullPolicy>;
+
+}  // namespace repro::baselines

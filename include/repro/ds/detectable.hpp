@@ -1,0 +1,201 @@
+// The shared "detectable operation" API.
+//
+// Every recoverable structure in ds/ announces each update in a
+// per-thread operation descriptor before touching the structure and
+// commits its response into the same descriptor afterwards.  After a
+// (simulated) crash, recover() reads the descriptor back and tells the
+// owning thread whether its last operation took effect and what it
+// returned — the paper's definition of detectable recovery.  Keeping
+// announce/commit/recover here means IsbList, IsbQueue, DtList, the
+// BST, the skiplist, the stack and the exchanger all share one
+// implementation of the recovery protocol instead of re-deriving it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "repro/pmem/persist.hpp"
+
+namespace repro::ds {
+
+using pmem::PersistProfile;
+
+// Unified queue/stack response: `ok` is false when the container was
+// observed empty.  Every queue in ds/ and baselines/ returns this from
+// dequeue(), including the volatile MS-queue baseline.
+struct DequeueResult {
+  bool ok = false;
+  std::uint64_t value = 0;
+};
+
+enum class OpKind : std::uint64_t {
+  none = 0,
+  insert,
+  erase,
+  find,
+  enqueue,
+  dequeue,
+  push,
+  pop,
+  exchange,
+};
+
+enum class OpStatus : std::uint64_t { idle = 0, pending, done };
+
+// Fixed upper bound on concurrently announcing threads; descriptors are
+// indexed by a process-wide thread slot.  Slots are recycled when a
+// thread exits, so any number of threads may run over a process's
+// lifetime — but more than kMaxThreads *live* at once is a hard error
+// (two live threads sharing a descriptor would corrupt recovery state
+// silently).
+inline constexpr int kMaxThreads = 128;
+
+namespace detail {
+inline std::atomic<bool>* slot_table() {
+  static std::atomic<bool> used[kMaxThreads];
+  return used;
+}
+}  // namespace detail
+
+inline int thread_slot() {
+  struct Holder {
+    int id;
+    Holder() : id(-1) {
+      std::atomic<bool>* used = detail::slot_table();
+      for (int i = 0; i < kMaxThreads; ++i) {
+        if (!used[i].exchange(true, std::memory_order_acq_rel)) {
+          id = i;
+          return;
+        }
+      }
+      std::fprintf(stderr,
+                   "repro: more than %d concurrent threads announcing "
+                   "operations\n",
+                   kMaxThreads);
+      std::abort();
+    }
+    ~Holder() {
+      detail::slot_table()[id].store(false, std::memory_order_release);
+    }
+  };
+  thread_local const Holder holder;
+  return holder.id;
+}
+
+// One cache line of notionally-persistent announcement state per
+// thread.  The response is two separate words (ok + result) so the
+// full 64-bit value space survives recovery intact.
+struct alignas(64) OpDesc {
+  pmem::persist<std::uint64_t> seq{0};     // per-thread operation counter
+  pmem::persist<std::uint64_t> kind{0};    // OpKind
+  pmem::persist<std::int64_t> key{0};      // operand (key / value)
+  pmem::persist<std::uint64_t> status{0};  // OpStatus
+  pmem::persist<std::uint64_t> ok{0};      // committed success flag
+  pmem::persist<std::uint64_t> result{0};  // committed response value
+};
+
+// What a recovering thread learns from its descriptor.
+struct Recovered {
+  std::uint64_t seq = 0;
+  OpKind kind = OpKind::none;
+  std::int64_t key = 0;
+  bool completed = false;      // commit reached the descriptor
+  bool ok = false;             // operation's boolean response
+  std::uint64_t result = 0;    // operation's value (valid when completed)
+};
+
+// The per-structure array of descriptors (the paper's Info structures).
+class AnnouncementBoard {
+ public:
+  OpDesc& mine() { return slots_[thread_slot()]; }
+  const OpDesc& slot(int i) const { return slots_[i]; }
+
+  Recovered recover(int slot) const {
+    const OpDesc& d = slots_[slot];
+    Recovered r;
+    r.seq = d.seq.load();
+    r.kind = static_cast<OpKind>(d.kind.load());
+    r.key = d.key.load();
+    r.completed =
+        static_cast<OpStatus>(d.status.load()) == OpStatus::done;
+    r.ok = d.ok.load() != 0;
+    r.result = d.result.load();
+    return r;
+  }
+
+ private:
+  OpDesc slots_[kMaxThreads];
+};
+
+// RAII announce/commit for one detectable operation.
+//
+// Persistence placement by profile (this is the Isb vs Isb-Opt split the
+// figures plot):
+//   general   — the announcement itself is flushed and fenced before the
+//               structure is touched, and the commit is flushed and
+//               fenced before the final psync: 2 pwb + 2 pfence + 1
+//               psync of descriptor traffic per operation.
+//   optimized — the announcement write stays in the store buffer (a
+//               crash before the structure's durable CAS makes the op a
+//               no-op either way, so persisting it early is redundant);
+//               only the commit is flushed: 1 pwb + 1 pfence + 1 psync.
+//
+// Structure-specific pwbs (the modified link, the new node) are issued
+// by the caller between announce and commit.
+class DetectableOp {
+ public:
+  DetectableOp(AnnouncementBoard& board, OpKind kind, std::int64_t key,
+               PersistProfile profile, bool persist_this_op = true)
+      : d_(board.mine()), profile_(profile), persisted_(persist_this_op) {
+    d_.seq.store(d_.seq.load(std::memory_order_relaxed) + 1);
+    d_.kind.store(static_cast<std::uint64_t>(kind));
+    d_.key.store(key);
+    d_.status.store(static_cast<std::uint64_t>(OpStatus::pending));
+    if (persisted_ && profile_ == PersistProfile::general) {
+      pmem::flush(&d_);
+      pmem::fence();
+    }
+  }
+
+  // Record the response and make the whole operation durable.
+  void commit(bool ok, std::uint64_t result) {
+    d_.ok.store(ok ? 1 : 0);
+    d_.result.store(result);
+    d_.status.store(static_cast<std::uint64_t>(OpStatus::done));
+    if (persisted_) {
+      pmem::flush(&d_);
+      pmem::fence();
+      pmem::psync();
+    }
+    committed_ = true;
+  }
+
+  // An uncommitted descriptor left behind models a crash mid-operation;
+  // recover() will report it as not completed.
+  ~DetectableOp() = default;
+
+  DetectableOp(const DetectableOp&) = delete;
+  DetectableOp& operator=(const DetectableOp&) = delete;
+
+  bool committed() const { return committed_; }
+
+ private:
+  OpDesc& d_;
+  PersistProfile profile_;
+  bool persisted_;
+  bool committed_ = false;
+};
+
+// No-op persistence policy: instantiating a core with it yields the
+// original volatile structure (the Harris-LL / MS-Queue baselines).
+struct NullPolicy {
+  void op_start(OpKind, std::int64_t, bool) {}
+  void visit(const void*, bool) {}
+  void pre_cas(const void*) {}
+  void post_update(const void*, const void*) {}
+  void op_end(bool, std::uint64_t, bool) {}
+};
+
+}  // namespace repro::ds

@@ -1,0 +1,34 @@
+// Harris list under the direct-tracking transformation ("DT" /
+// "DT-Opt" in the figures): like ISB it announces in a per-thread
+// descriptor, but it additionally persists every logically-deleted node
+// the search traverses, so its persistence cost grows with update
+// concurrency instead of staying constant.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/ds/harris_core.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::ds {
+
+class DtList {
+ public:
+  explicit DtList(PersistProfile profile = PersistProfile::general)
+      : core_(profile) {}
+
+  bool insert(std::int64_t key) { return core_.insert(key); }
+  bool erase(std::int64_t key) { return core_.erase(key); }
+  bool find(std::int64_t key) { return core_.find(key); }
+
+  Recovered recover(int slot) const {
+    return core_.policy().board().recover(slot);
+  }
+
+  std::size_t size_slow() const { return core_.size_slow(); }
+
+ private:
+  mutable HarrisListCore<DtPolicy> core_;
+};
+
+}  // namespace repro::ds

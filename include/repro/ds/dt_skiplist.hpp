@@ -1,0 +1,179 @@
+// Recoverable skiplist under direct tracking (Section 6 feasibility
+// structure).  Same tombstone scheme as the BST — towers are only ever
+// added, membership is the tombstone flag, and erase/revive are
+// single-word CASes — layered over a standard lock-free skiplist
+// insert: the bottom-level link CAS linearizes a new key, upper levels
+// are linked best-effort.  In the direct-tracking style, traversals
+// persist every tombstoned node they cross, and every update persists
+// the link or flag it wrote plus its descriptor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "repro/ds/detectable.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::ds {
+
+class DtSkipList {
+ public:
+  DtSkipList() {
+    head_ = new Node(std::numeric_limits<std::int64_t>::min(),
+                     kMaxLevel - 1);
+    tail_ = new Node(std::numeric_limits<std::int64_t>::max(),
+                     kMaxLevel - 1);
+    for (int i = 0; i < kMaxLevel; ++i) {
+      head_->next[i].store(tail_, std::memory_order_relaxed);
+    }
+  }
+  DtSkipList(const DtSkipList&) = delete;
+  DtSkipList& operator=(const DtSkipList&) = delete;
+
+  ~DtSkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = n->next[0].load(std::memory_order_relaxed);
+      delete n;
+      n = nx;  // tail's next is nullptr, ending the walk
+    }
+  }
+
+  bool insert(std::int64_t key) {
+    DetectableOp op(board_, OpKind::insert, key,
+                    PersistProfile::general);
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    bool ok;
+    while (true) {
+      Node* found = search(key, preds, succs);
+      if (found != nullptr) {
+        bool dead = true;
+        ok = found->dead.compare_exchange_strong(dead, false);
+        if (ok) persist_word(&found->dead);
+        break;
+      }
+      if (succs[0] != tail_ && succs[0]->key == key) {
+        ok = false;  // live duplicate
+        break;
+      }
+      const int top = random_level();
+      Node* node = new Node(key, top);
+      node->next[0].store(succs[0], std::memory_order_relaxed);
+      Node* expected = succs[0];
+      if (!preds[0]->next[0].compare_exchange_strong(expected, node)) {
+        delete node;
+        continue;  // bottom-level race; retry from a fresh search
+      }
+      persist_word(&preds[0]->next[0]);
+      // Best-effort tower: a failed CAS just re-searches for fresh
+      // preds/succs; the key is already linearized at level 0.
+      for (int lvl = 1; lvl <= top; ++lvl) {
+        while (true) {
+          node->next[lvl].store(succs[lvl], std::memory_order_relaxed);
+          Node* exp = succs[lvl];
+          if (preds[lvl]->next[lvl].compare_exchange_strong(exp, node)) {
+            break;
+          }
+          search(key, preds, succs);
+        }
+      }
+      ok = true;
+      break;
+    }
+    op.commit(ok, ok ? 1 : 0);
+    return ok;
+  }
+
+  bool erase(std::int64_t key) {
+    DetectableOp op(board_, OpKind::erase, key, PersistProfile::general);
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    search(key, preds, succs);
+    bool ok = false;
+    Node* cur = succs[0];
+    if (cur != tail_ && cur->key == key) {
+      bool dead = false;
+      ok = cur->dead.compare_exchange_strong(dead, true);
+      if (ok) persist_word(&cur->dead);
+    }
+    op.commit(ok, ok ? 1 : 0);
+    return ok;
+  }
+
+  bool find(std::int64_t key) {
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    search(key, preds, succs);
+    Node* cur = succs[0];
+    return cur != tail_ && cur->key == key &&
+           !cur->dead.load(std::memory_order_acquire);
+  }
+
+  Recovered recover(int slot) const { return board_.recover(slot); }
+
+ private:
+  static constexpr int kMaxLevel = 16;
+
+  struct Node {
+    Node(std::int64_t k, int t) : key(k), top(t) {
+      for (int i = 0; i < kMaxLevel; ++i) {
+        next[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    const std::int64_t key;
+    const int top;
+    std::atomic<bool> dead{false};
+    std::atomic<Node*> next[kMaxLevel];
+  };
+
+  // Fills preds/succs at every level; returns the node matching `key`
+  // if it exists and is tombstoned (insert revives it in place), else
+  // nullptr.  succs[0] is the first node with key >= `key`.
+  Node* search(std::int64_t key, Node** preds, Node** succs) {
+    Node* pred = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      Node* cur = pred->next[lvl].load(std::memory_order_acquire);
+      while (cur != tail_ && cur->key < key) {
+        if (cur->dead.load(std::memory_order_acquire)) {
+          // Direct tracking: persist tombstoned nodes we cross.
+          pmem::flush(cur);
+          pmem::fence();
+        }
+        pred = cur;
+        cur = pred->next[lvl].load(std::memory_order_acquire);
+      }
+      preds[lvl] = pred;
+      succs[lvl] = cur;
+    }
+    Node* cand = succs[0];
+    if (cand != tail_ && cand->key == key &&
+        cand->dead.load(std::memory_order_acquire)) {
+      return cand;
+    }
+    return nullptr;
+  }
+
+  void persist_word(const void* addr) {
+    pmem::flush(addr);
+    pmem::fence();
+  }
+
+  static int random_level() {
+    thread_local std::uint64_t state =
+        0x9E3779B97F4A7C15ull * (thread_slot() + 1);
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    int lvl = 0;
+    while ((state >> lvl & 1) != 0 && lvl < kMaxLevel - 1) ++lvl;
+    return lvl;
+  }
+
+  Node* head_;
+  Node* tail_;
+  AnnouncementBoard board_;
+};
+
+}  // namespace repro::ds

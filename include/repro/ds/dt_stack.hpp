@@ -1,0 +1,123 @@
+// Recoverable Treiber stack with optional elimination (Section 6's
+// direct-tracking elimination stack).  Every push/pop announces through
+// the Detectable API and persists the top-of-stack line it modifies.
+// With Config::elimination, a contended CAS retries through a
+// recoverable exchanger instead: a push offering its value can cancel
+// against a pop, and both complete without touching the stack.
+//
+// Popped nodes are leaked; node addresses are therefore never reused
+// and the classic Treiber ABA hazard does not arise.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "repro/ds/detectable.hpp"
+#include "repro/ds/isb_exchanger.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::ds {
+
+class DtStack {
+ public:
+  struct Config {
+    bool elimination = false;
+  };
+
+  DtStack() = default;
+  explicit DtStack(Config c) : cfg_(c) {}
+  DtStack(const DtStack&) = delete;
+  DtStack& operator=(const DtStack&) = delete;
+
+  ~DtStack() {
+    Node* n = top_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* nx = n->next;
+      delete n;
+      n = nx;
+    }
+  }
+
+  void push(std::uint64_t value) {
+    DetectableOp op(board_, OpKind::push,
+                    static_cast<std::int64_t>(value),
+                    PersistProfile::general);
+    Node* node = new Node{value, nullptr};
+    while (true) {
+      Node* old = top_.load(std::memory_order_acquire);
+      node->next = old;
+      if (top_.compare_exchange_strong(old, node)) {
+        pmem::flush(&top_);
+        pmem::fence();
+        break;
+      }
+      if (cfg_.elimination) {
+        // Contended: offer the value to a concurrent pop.
+        ElimOp* offer = new ElimOp{true, value};
+        const auto ex =
+            exchanger_.exchange(reinterpret_cast<std::uint64_t>(offer),
+                                kElimSpin);
+        if (ex.ok && !reinterpret_cast<ElimOp*>(ex.value)->is_push) {
+          delete node;  // a pop consumed the value directly
+          break;
+        }
+      }
+    }
+    op.commit(true, value);
+  }
+
+  DequeueResult pop() {
+    DetectableOp op(board_, OpKind::pop, 0, PersistProfile::general);
+    DequeueResult r{false, 0};
+    while (true) {
+      Node* old = top_.load(std::memory_order_acquire);
+      if (old == nullptr) break;  // observed empty
+      if (top_.compare_exchange_strong(old, old->next)) {
+        pmem::flush(&top_);
+        pmem::fence();
+        r = {true, old->value};
+        break;
+      }
+      if (cfg_.elimination) {
+        ElimOp* offer = new ElimOp{false, 0};
+        const auto ex =
+            exchanger_.exchange(reinterpret_cast<std::uint64_t>(offer),
+                                kElimSpin);
+        if (ex.ok) {
+          const ElimOp* other = reinterpret_cast<ElimOp*>(ex.value);
+          if (other->is_push) {
+            r = {true, other->value};
+            break;
+          }
+        }
+      }
+    }
+    op.commit(r.ok, r.value);
+    return r;
+  }
+
+  Recovered recover(int slot) const { return board_.recover(slot); }
+
+ private:
+  struct Node {
+    std::uint64_t value;
+    Node* next;  // immutable once the node is linked
+  };
+
+  // Elimination protocol: both sides exchange pointers to an ElimOp
+  // descriptor (never a raw value, so the full 64-bit value space is
+  // preserved); a pairing only cancels when a push meets a pop.  The
+  // descriptors are leaked like every other published node.
+  struct ElimOp {
+    bool is_push;
+    std::uint64_t value;
+  };
+  static constexpr int kElimSpin = 64;
+
+  Config cfg_;
+  std::atomic<Node*> top_{nullptr};
+  AnnouncementBoard board_;
+  IsbExchanger exchanger_;
+};
+
+}  // namespace repro::ds

@@ -1,0 +1,211 @@
+// Harris lock-free linked list, parameterised by a persistence policy.
+//
+// The paper evaluates one underlying list (Harris's marked-pointer list)
+// under several detectable-recovery transformations that differ only in
+// *where* they place pwb/pfence/psync and what per-thread recovery
+// metadata they maintain.  The core therefore owns all traversal and CAS
+// logic exactly once and surfaces the transformation points as policy
+// hooks:
+//
+//   op_start(kind, key, read_only)      — operation announced
+//   visit(node, marked)                 — node traversed during search
+//   pre_cas(addr)                       — about to attempt a CAS
+//   post_update(primary, secondary)     — a structural CAS succeeded
+//   op_end(ok, result, read_only)       — operation response decided
+//
+// baselines::HarrisList instantiates it with the no-op policy; the ISB,
+// DT and Capsules lists instantiate it with their respective policies
+// (see isb_list.hpp / dt_list.hpp / baselines/capsules_list.hpp).
+//
+// Removed nodes are leaked: safe memory reclamation is orthogonal to the
+// persistence cost the benchmarks measure (the paper's artifact does the
+// same) and a proper epoch reclaimer is tracked in ROADMAP.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "repro/ds/detectable.hpp"
+
+namespace repro::ds {
+
+template <typename Policy>
+class HarrisListCore {
+ public:
+  // Policies hold atomics (announcement boards, capsules) and cannot be
+  // moved, so the core constructs its policy in place.
+  template <typename... Args>
+  explicit HarrisListCore(Args&&... args)
+      : policy_(std::forward<Args>(args)...) {
+    head_ = new Node{std::numeric_limits<std::int64_t>::min(), nullptr};
+    tail_ = new Node{std::numeric_limits<std::int64_t>::max(), nullptr};
+    head_->next.store(tail_, std::memory_order_relaxed);
+  }
+
+  ~HarrisListCore() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* nx = unmark(n->next.load(std::memory_order_relaxed));
+      delete n;
+      n = nx;
+    }
+  }
+
+  HarrisListCore(const HarrisListCore&) = delete;
+  HarrisListCore& operator=(const HarrisListCore&) = delete;
+
+  bool insert(std::int64_t key) {
+    policy_.op_start(OpKind::insert, key, false);
+    Node* node = nullptr;
+    bool ok = false;
+    while (true) {
+      Node* left = nullptr;
+      Node* right = search(key, &left);
+      if (right != tail_ && right->key == key) {
+        ok = false;
+        break;
+      }
+      if (node == nullptr) node = new Node{key, nullptr};
+      node->next.store(right, std::memory_order_relaxed);
+      policy_.pre_cas(&left->next);
+      Node* expected = right;
+      if (left->next.compare_exchange_strong(expected, node)) {
+        policy_.post_update(&left->next, node);
+        ok = true;
+        break;
+      }
+    }
+    if (!ok && node != nullptr) delete node;  // never linked
+    policy_.op_end(ok, ok ? 1 : 0, false);
+    return ok;
+  }
+
+  bool erase(std::int64_t key) {
+    policy_.op_start(OpKind::erase, key, false);
+    bool ok = false;
+    while (true) {
+      Node* left = nullptr;
+      Node* right = search(key, &left);
+      if (right == tail_ || right->key != key) {
+        ok = false;
+        break;
+      }
+      Node* right_next = right->next.load(std::memory_order_acquire);
+      if (!is_marked(right_next)) {
+        policy_.pre_cas(&right->next);
+        Node* expected = right_next;
+        // Logical deletion: set the mark bit on right's next pointer.
+        if (right->next.compare_exchange_strong(expected,
+                                                mark(right_next))) {
+          policy_.post_update(&right->next, nullptr);
+          // Best-effort physical unlink; search() will finish the job
+          // if this fails.
+          policy_.pre_cas(&left->next);
+          Node* expl = right;
+          if (left->next.compare_exchange_strong(expl, right_next)) {
+            policy_.post_update(&left->next, nullptr);
+          }
+          ok = true;
+          break;
+        }
+      }
+    }
+    policy_.op_end(ok, ok ? 1 : 0, false);
+    return ok;
+  }
+
+  bool find(std::int64_t key) {
+    policy_.op_start(OpKind::find, key, true);
+    Node* left = nullptr;
+    Node* right = search(key, &left);
+    const bool ok = (right != tail_ && right->key == key);
+    policy_.op_end(ok, ok ? 1 : 0, true);
+    return ok;
+  }
+
+  // Unmarked-node count; only meaningful while no other thread mutates.
+  std::size_t size_slow() const {
+    std::size_t n = 0;
+    for (Node* c = unmark(head_->next.load()); c != tail_;
+         c = unmark(c->next.load())) {
+      if (!is_marked(c->next.load())) ++n;
+    }
+    return n;
+  }
+
+  Policy& policy() { return policy_; }
+
+ private:
+  struct Node {
+    std::int64_t key;
+    std::atomic<Node*> next;
+  };
+
+  static bool is_marked(Node* p) {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
+  }
+  static Node* mark(Node* p) {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) |
+                                   1u);
+  }
+  static Node* unmark(Node* p) {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) &
+                                   ~std::uintptr_t{1});
+  }
+
+  // Harris search: returns the first unmarked node with key >= `key`
+  // and its unmarked predecessor, unlinking any marked chain in
+  // between.
+  Node* search(std::int64_t key, Node** left_node) {
+    while (true) {
+      Node* left = head_;
+      Node* left_next = head_->next.load(std::memory_order_acquire);
+      Node* t = head_;
+      Node* t_next = left_next;
+      // Phase 1: advance until the first unmarked node with key >= key,
+      // remembering the last unmarked predecessor.
+      do {
+        if (!is_marked(t_next)) {
+          left = t;
+          left_next = t_next;
+        }
+        t = unmark(t_next);
+        if (t == tail_) break;
+        t_next = t->next.load(std::memory_order_acquire);
+        policy_.visit(t, is_marked(t_next));
+      } while (is_marked(t_next) || t->key < key);
+      Node* right = t;
+
+      // Phase 2: adjacent — done, unless right got marked meanwhile.
+      if (left_next == right) {
+        if (right != tail_ &&
+            is_marked(right->next.load(std::memory_order_acquire))) {
+          continue;
+        }
+        *left_node = left;
+        return right;
+      }
+
+      // Phase 3: snip out the marked chain between left and right.
+      policy_.pre_cas(&left->next);
+      Node* expected = left_next;
+      if (left->next.compare_exchange_strong(expected, right)) {
+        policy_.post_update(&left->next, nullptr);
+        if (right != tail_ &&
+            is_marked(right->next.load(std::memory_order_acquire))) {
+          continue;
+        }
+        *left_node = left;
+        return right;
+      }
+    }
+  }
+
+  Node* head_;
+  Node* tail_;
+  Policy policy_;
+};
+
+}  // namespace repro::ds

@@ -1,0 +1,117 @@
+// Recoverable binary search tree (Section 6 feasibility structure).
+//
+// Internal BST in which the physical shape only grows: a key is
+// logically removed by CAS-ing a tombstone flag on its node and revived
+// by flipping it back, so every update is a single-word linearization
+// point — exactly the shape the tracking transformation wants.  Updates
+// announce through the shared Detectable API and persist the one line
+// they modified; find() uses the read-only optimization and issues no
+// persistence instructions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "repro/ds/detectable.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::ds {
+
+class IsbBst {
+ public:
+  explicit IsbBst(PersistProfile profile = PersistProfile::general)
+      : profile_(profile) {}
+  IsbBst(const IsbBst&) = delete;
+  IsbBst& operator=(const IsbBst&) = delete;
+
+  ~IsbBst() { destroy(root_.load(std::memory_order_relaxed)); }
+
+  bool insert(std::int64_t key) {
+    DetectableOp op(board_, OpKind::insert, key, profile_);
+    bool ok;
+    while (true) {
+      std::atomic<Node*>* link = &root_;
+      Node* cur = link->load(std::memory_order_acquire);
+      while (cur != nullptr && cur->key != key) {
+        link = key < cur->key ? &cur->left : &cur->right;
+        cur = link->load(std::memory_order_acquire);
+      }
+      if (cur != nullptr) {
+        // Key node exists: revive it if tombstoned.
+        bool dead = true;
+        ok = cur->dead.compare_exchange_strong(dead, false);
+        if (ok) persist_update(&cur->dead, cur);
+        break;
+      }
+      Node* node = new Node{key};
+      Node* expected = nullptr;
+      if (link->compare_exchange_strong(expected, node)) {
+        persist_update(link, node);
+        ok = true;
+        break;
+      }
+      delete node;  // lost the race; retry from the new subtree
+    }
+    op.commit(ok, ok ? 1 : 0);
+    return ok;
+  }
+
+  bool erase(std::int64_t key) {
+    DetectableOp op(board_, OpKind::erase, key, profile_);
+    Node* cur = locate(key);
+    bool ok = false;
+    if (cur != nullptr) {
+      bool dead = false;
+      ok = cur->dead.compare_exchange_strong(dead, true);
+      if (ok) persist_update(&cur->dead, nullptr);
+    }
+    op.commit(ok, ok ? 1 : 0);
+    return ok;
+  }
+
+  bool find(std::int64_t key) const {
+    const Node* cur = locate(key);
+    return cur != nullptr && !cur->dead.load(std::memory_order_acquire);
+  }
+
+  Recovered recover(int slot) const { return board_.recover(slot); }
+
+ private:
+  struct Node {
+    explicit Node(std::int64_t k) : key(k) {}
+    const std::int64_t key;
+    std::atomic<bool> dead{false};
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+  };
+
+  Node* locate(std::int64_t key) const {
+    Node* cur = root_.load(std::memory_order_acquire);
+    while (cur != nullptr && cur->key != key) {
+      cur = (key < cur->key ? cur->left : cur->right)
+                .load(std::memory_order_acquire);
+    }
+    return cur;
+  }
+
+  void persist_update(const void* primary, const void* secondary) {
+    pmem::flush(primary);
+    if (profile_ == PersistProfile::general) {
+      if (secondary != nullptr) pmem::flush(secondary);
+      pmem::fence();
+    }
+  }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left.load(std::memory_order_relaxed));
+    destroy(n->right.load(std::memory_order_relaxed));
+    delete n;
+  }
+
+  PersistProfile profile_;
+  std::atomic<Node*> root_{nullptr};
+  AnnouncementBoard board_;
+};
+
+}  // namespace repro::ds

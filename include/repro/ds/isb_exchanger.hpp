@@ -1,0 +1,97 @@
+// Recoverable exchanger (Section 6): two threads swap values through a
+// single slot.  Each attempt is announced through the shared Detectable
+// API; the thread that claims a waiting partner persists the matched
+// pair before either side returns, so a recovering thread can tell from
+// its descriptor whether its exchange took effect and what it received.
+//
+// Exchange nodes are leaked once published (a withdrawn node may still
+// be referenced by a concurrent claimer), matching the no-reclamation
+// convention of the other structures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "repro/ds/detectable.hpp"
+#include "repro/ds/policies.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace repro::ds {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#endif
+}
+
+class IsbExchanger {
+ public:
+  IsbExchanger() = default;
+  IsbExchanger(const IsbExchanger&) = delete;
+  IsbExchanger& operator=(const IsbExchanger&) = delete;
+
+  // Tries for at most `attempts` rounds to pair with another thread;
+  // on success returns {true, partner's value}.
+  DequeueResult exchange(std::uint64_t value, int attempts) {
+    DetectableOp op(board_, OpKind::exchange,
+                    static_cast<std::int64_t>(value),
+                    PersistProfile::optimized);
+    DequeueResult r{false, 0};
+    Node* mine = nullptr;
+    for (int i = 0; i < attempts && !r.ok; ++i) {
+      Node* cur = slot_.load(std::memory_order_acquire);
+      if (cur == nullptr) {
+        if (mine == nullptr) mine = new Node{value};
+        Node* expected = nullptr;
+        if (!slot_.compare_exchange_strong(expected, mine)) continue;
+        // Posted; wait a bounded while for a partner.
+        for (int j = 0; j < attempts; ++j) {
+          if (mine->matched.load(std::memory_order_acquire)) break;
+          cpu_relax();
+        }
+        if (mine->matched.load(std::memory_order_acquire)) {
+          r = {true, mine->answer.load(std::memory_order_acquire)};
+        } else {
+          Node* expm = mine;
+          if (slot_.compare_exchange_strong(expm, nullptr)) {
+            mine = nullptr;  // withdrawn; node may still be observed
+          } else {
+            // A claimer got there first; the match is imminent.
+            while (!mine->matched.load(std::memory_order_acquire)) {
+              cpu_relax();
+            }
+            r = {true, mine->answer.load(std::memory_order_acquire)};
+          }
+        }
+      } else if (slot_.compare_exchange_strong(cur, nullptr)) {
+        // Claimed a waiting partner: publish our value to them and
+        // persist the matched pair — the exchange's linearization.
+        cur->answer.store(value, std::memory_order_release);
+        cur->matched.store(true, std::memory_order_release);
+        pmem::flush(cur);
+        pmem::fence();
+        r = {true, cur->offered};
+      }
+      cpu_relax();
+    }
+    op.commit(r.ok, r.value);
+    return r;
+  }
+
+  Recovered recover(int slot) const { return board_.recover(slot); }
+
+ private:
+  struct Node {
+    std::uint64_t offered;
+    std::atomic<std::uint64_t> answer{0};
+    std::atomic<bool> matched{false};
+  };
+
+  std::atomic<Node*> slot_{nullptr};
+  AnnouncementBoard board_;
+};
+
+}  // namespace repro::ds

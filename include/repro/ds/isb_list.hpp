@@ -1,0 +1,43 @@
+// The paper's detectable lock-free linked list: Harris's list under the
+// tracking (info-structure based) transformation.  Config::profile
+// selects between the general persistence placement ("Isb" in the
+// figures) and the hand-tuned one ("Isb-Opt"); Config::read_only_opt
+// toggles the Algorithm-2 optimization that lets find() complete
+// without any persistence instructions.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/ds/harris_core.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::ds {
+
+class IsbList {
+ public:
+  struct Config {
+    PersistProfile profile = PersistProfile::general;
+    bool read_only_opt = true;
+  };
+
+  IsbList() : IsbList(Config{}) {}
+  explicit IsbList(Config c)
+      : core_(IsbPolicy::Options{c.profile, c.read_only_opt}) {}
+
+  bool insert(std::int64_t key) { return core_.insert(key); }
+  bool erase(std::int64_t key) { return core_.erase(key); }
+  bool find(std::int64_t key) { return core_.find(key); }
+
+  // Detectable recovery: what thread `slot` would learn about its last
+  // operation after a crash.
+  Recovered recover(int slot) const {
+    return core_.policy().board().recover(slot);
+  }
+
+  std::size_t size_slow() const { return core_.size_slow(); }
+
+ private:
+  mutable HarrisListCore<IsbPolicy> core_;
+};
+
+}  // namespace repro::ds

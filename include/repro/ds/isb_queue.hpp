@@ -1,0 +1,30 @@
+// The paper's detectable lock-free queue: the Michael-Scott queue under
+// the tracking transformation.  The evaluated "Isb-Queue" series uses
+// the tuned persistence placement; the general one is available for
+// instruction-count comparisons.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/ds/msqueue_core.hpp"
+#include "repro/ds/policies.hpp"
+
+namespace repro::ds {
+
+class IsbQueue {
+ public:
+  explicit IsbQueue(PersistProfile profile = PersistProfile::optimized)
+      : core_(IsbPolicy::Options{profile, /*read_only_opt=*/true}) {}
+
+  void enqueue(std::uint64_t value) { core_.enqueue(value); }
+  DequeueResult dequeue() { return core_.dequeue(); }
+
+  Recovered recover(int slot) const {
+    return core_.policy().board().recover(slot);
+  }
+
+ private:
+  mutable MsQueueCore<IsbPolicy> core_;
+};
+
+}  // namespace repro::ds

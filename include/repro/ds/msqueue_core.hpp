@@ -1,0 +1,115 @@
+// Michael-Scott lock-free queue, parameterised by the same persistence
+// policy concept as HarrisListCore (see harris_core.hpp).  MsQueue,
+// IsbQueue, LogQueue and CapsulesQueue are all instantiations of this
+// core; they differ only in the pwb/pfence/psync placement and the
+// per-thread recovery metadata their policies maintain.
+//
+// Dequeued nodes are leaked (see the reclamation note in
+// harris_core.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "repro/ds/detectable.hpp"
+
+namespace repro::ds {
+
+template <typename Policy>
+class MsQueueCore {
+ public:
+  // Policies hold atomics and cannot be moved; construct in place.
+  template <typename... Args>
+  explicit MsQueueCore(Args&&... args)
+      : policy_(std::forward<Args>(args)...) {
+    Node* dummy = new Node{0, nullptr};
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  ~MsQueueCore() {
+    Node* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* nx = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = nx;
+    }
+  }
+
+  MsQueueCore(const MsQueueCore&) = delete;
+  MsQueueCore& operator=(const MsQueueCore&) = delete;
+
+  void enqueue(std::uint64_t value) {
+    policy_.op_start(OpKind::enqueue, static_cast<std::int64_t>(value),
+                     false);
+    Node* node = new Node{value, nullptr};
+    while (true) {
+      Node* last = tail_.load(std::memory_order_acquire);
+      Node* next = last->next.load(std::memory_order_acquire);
+      policy_.visit(last, false);
+      if (last != tail_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        policy_.pre_cas(&last->next);
+        Node* expected = nullptr;
+        if (last->next.compare_exchange_strong(expected, node)) {
+          // The link CAS is the (durable) linearization point; the tail
+          // swing below is volatile bookkeeping that recovery rebuilds.
+          policy_.post_update(&last->next, node);
+          Node* expl = last;
+          tail_.compare_exchange_strong(expl, node);
+          break;
+        }
+      } else {
+        Node* expl = last;  // help a stalled enqueuer
+        tail_.compare_exchange_strong(expl, next);
+      }
+    }
+    policy_.op_end(true, value, false);
+  }
+
+  DequeueResult dequeue() {
+    policy_.op_start(OpKind::dequeue, 0, false);
+    DequeueResult r;
+    while (true) {
+      Node* first = head_.load(std::memory_order_acquire);
+      Node* last = tail_.load(std::memory_order_acquire);
+      Node* next = first->next.load(std::memory_order_acquire);
+      policy_.visit(first, false);
+      if (first != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        r = {false, 0};  // observed empty
+        break;
+      }
+      if (first == last) {
+        Node* expl = last;  // tail lagging: help
+        tail_.compare_exchange_strong(expl, next);
+        continue;
+      }
+      const std::uint64_t value = next->value;
+      policy_.pre_cas(&head_);
+      Node* expf = first;
+      if (head_.compare_exchange_strong(expf, next)) {
+        policy_.post_update(&head_, nullptr);
+        r = {true, value};
+        break;
+      }
+    }
+    policy_.op_end(r.ok, r.value, false);
+    return r;
+  }
+
+  Policy& policy() { return policy_; }
+
+ private:
+  struct Node {
+    std::uint64_t value;
+    std::atomic<Node*> next;
+  };
+
+  alignas(64) std::atomic<Node*> head_;
+  alignas(64) std::atomic<Node*> tail_;
+  Policy policy_;
+};
+
+}  // namespace repro::ds

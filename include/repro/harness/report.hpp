@@ -1,0 +1,33 @@
+// Paper-style table output: one aligned row per data point, mirroring
+// the quantities plotted in the figures so a run's stdout can be
+// eyeballed against the paper directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "repro/harness/runner.hpp"
+
+namespace repro::harness {
+
+inline void print_figure_header(const std::string& figure,
+                                const std::string& what) {
+  std::printf("\n== %s — %s ==\n", figure.c_str(), what.c_str());
+  std::fflush(stdout);
+}
+
+inline void print_columns() {
+  std::printf("%-18s %-40s %8s %14s %13s %13s %11s\n", "algo", "scenario",
+              "threads", "ops/sec", "pwb/op", "pbarrier/op", "psync/op");
+  std::fflush(stdout);
+}
+
+inline void print_row(const std::string& algo, const std::string& scenario,
+                      int threads, const RunResult& r) {
+  std::printf("%-18s %-40s %8d %14.0f %13.2f %13.2f %11.2f\n",
+              algo.c_str(), scenario.c_str(), threads, r.ops_per_sec,
+              r.flushes_per_op, r.barriers_per_op, r.psyncs_per_op);
+  std::fflush(stdout);
+}
+
+}  // namespace repro::harness

@@ -1,0 +1,119 @@
+// Measurement loop: runs a per-thread operation body for a fixed wall
+// interval (REPRO_BENCH_MS, default 100) and reports throughput plus
+// the persistence-instruction tallies normalised per operation — the
+// quantities every figure in the paper plots.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "repro/harness/workload.hpp"
+#include "repro/pmem/persist.hpp"
+
+namespace repro::harness {
+
+struct RunResult {
+  std::uint64_t total_ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  double barriers_per_op = 0;  // pfences ("pbarriers")
+  double flushes_per_op = 0;   // pwbs
+  double psyncs_per_op = 0;
+};
+
+namespace detail {
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v != nullptr) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<int>(parsed);
+  }
+  return fallback;
+}
+}  // namespace detail
+
+// Measured interval per data point, in milliseconds.
+inline int bench_ms() { return detail::env_int("REPRO_BENCH_MS", 100); }
+
+// Top of the benchmark thread series (REPRO_MAX_THREADS overrides the
+// detected core count; the paper sweeps 1..#cores in powers of two).
+inline int max_threads() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return detail::env_int("REPRO_MAX_THREADS", hw > 0 ? hw : 1);
+}
+
+// Inserts ~`percent`% of [1, key_range] (the paper prefills each run to
+// a steady-state size so insert/erase success rates balance).
+template <typename Set>
+void prefill(Set& set, std::int64_t key_range, int percent = 40) {
+  Rng rng(0xC0FFEEull);
+  for (std::int64_t k = 1; k <= key_range; ++k) {
+    if (rng.below(100) < static_cast<std::uint64_t>(percent)) {
+      set.insert(k);
+    }
+  }
+}
+
+// Runs `body(tid, rng)` in a loop on `threads` threads for bench_ms().
+template <typename Body>
+RunResult run_threads(int threads, Body&& body) {
+  struct alignas(64) Slot {
+    std::uint64_t ops = 0;
+    pmem::Counters counters;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(threads));
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0x9E3779B9ull + static_cast<std::uint64_t>(t) * 7919u);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      const pmem::Counters before = pmem::counters();
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        body(t, rng);
+        ++n;
+      }
+      slots[static_cast<std::size_t>(t)].ops = n;
+      slots[static_cast<std::size_t>(t)].counters =
+          pmem::counters() - before;
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(bench_ms()));
+  stop.store(true, std::memory_order_release);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (auto& w : workers) w.join();
+
+  RunResult r;
+  pmem::Counters total;
+  for (const auto& s : slots) {
+    r.total_ops += s.ops;
+    total += s.counters;
+  }
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (r.seconds > 0) {
+    r.ops_per_sec = static_cast<double>(r.total_ops) / r.seconds;
+  }
+  if (r.total_ops > 0) {
+    const auto ops = static_cast<double>(r.total_ops);
+    r.barriers_per_op = static_cast<double>(total.fences) / ops;
+    r.flushes_per_op = static_cast<double>(total.flushes) / ops;
+    r.psyncs_per_op = static_cast<double>(total.psyncs) / ops;
+  }
+  return r;
+}
+
+}  // namespace repro::harness

@@ -1,0 +1,62 @@
+// Workload description for the figure benches: the paper's operation
+// mixes (read-intensive 15/15/70, update-intensive 35/35/30), uniform
+// key selection over [1, key_range], and the per-thread RNG.
+#pragma once
+
+#include <cstdint>
+
+namespace repro::harness {
+
+// Operation mix in percent; find_pct is the remainder to 100.
+struct Mix {
+  const char* name;
+  int insert_pct;
+  int erase_pct;
+  int find_pct;
+};
+
+inline constexpr Mix kReadIntensive{"read-intensive", 15, 15, 70};
+inline constexpr Mix kUpdateIntensive{"update-intensive", 35, 35, 30};
+
+enum class OpType { insert, erase, find };
+
+// xorshift64*: fast, decent-quality, one word of state per thread.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull)
+      : state_(seed != 0 ? seed : 0x853c49e6748fea9bull) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct Workload {
+  std::int64_t key_range;
+  Mix mix;
+
+  std::int64_t pick_key(Rng& rng) const {
+    return 1 +
+           static_cast<std::int64_t>(
+               rng.below(static_cast<std::uint64_t>(key_range)));
+  }
+
+  OpType pick_op(Rng& rng) const {
+    const auto u = static_cast<int>(rng.below(100));
+    if (u < mix.insert_pct) return OpType::insert;
+    if (u < mix.insert_pct + mix.erase_pct) return OpType::erase;
+    return OpType::find;
+  }
+};
+
+}  // namespace repro::harness

@@ -1,0 +1,167 @@
+// Simulated persistent-memory primitive layer.
+//
+// The paper's model (Izraelevitz et al. explicit epoch persistency) has
+// three instructions: pwb (persist write-back / flush of one cache line),
+// pfence (order pwbs against later stores), and psync (block until all
+// earlier pwbs are durable).  On emulated NVRAM the real x86 instructions
+// are executed so that their latency is paid; the paper additionally
+// evaluates a private-cache model (persistence instructions free) and
+// instruction-count experiments (Figures 1b/1c, 5, 6) where only the
+// counts matter.  Mode selects between these three behaviours; every
+// call is tallied in thread-local counters either way, which is what
+// feeds barriers_per_op / flushes_per_op / psyncs_per_op in the harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace repro::pmem {
+
+// How persistence instructions behave while a benchmark runs.
+enum class Mode {
+  shared_cache,   // execute real flush + fence instructions (emulated NVRAM)
+  private_cache,  // persistence is free: count but do not execute
+  count_only,     // deterministic instruction-count experiments
+};
+
+// Which persistence placement a detectable algorithm uses: the general
+// transformation persists conservatively at every step; the hand-tuned
+// optimized placement (the paper's "-Opt" series) elides provably
+// redundant pwbs/pfences.
+enum class PersistProfile { general, optimized };
+
+namespace detail {
+inline std::atomic<Mode>& mode_cell() {
+  static std::atomic<Mode> m{Mode::shared_cache};
+  return m;
+}
+}  // namespace detail
+
+inline Mode mode() { return detail::mode_cell().load(std::memory_order_relaxed); }
+inline void set_mode(Mode m) {
+  detail::mode_cell().store(m, std::memory_order_relaxed);
+}
+
+// Scoped mode switch used by the figure benches.
+class ModeGuard {
+ public:
+  explicit ModeGuard(Mode m) : saved_(mode()) { set_mode(m); }
+  ~ModeGuard() { set_mode(saved_); }
+  ModeGuard(const ModeGuard&) = delete;
+  ModeGuard& operator=(const ModeGuard&) = delete;
+
+ private:
+  Mode saved_;
+};
+
+// Per-thread tallies of persistence instructions issued.  The harness
+// snapshots these around a measured interval and normalises by the
+// operation count.
+struct Counters {
+  std::uint64_t flushes = 0;  // pwb
+  std::uint64_t fences = 0;   // pfence (the paper's "pbarrier")
+  std::uint64_t psyncs = 0;   // psync
+
+  Counters& operator+=(const Counters& o) {
+    flushes += o.flushes;
+    fences += o.fences;
+    psyncs += o.psyncs;
+    return *this;
+  }
+  Counters operator-(const Counters& o) const {
+    return {flushes - o.flushes, fences - o.fences, psyncs - o.psyncs};
+  }
+};
+
+namespace detail {
+inline thread_local Counters tl_counters{};
+}  // namespace detail
+
+inline Counters counters() { return detail::tl_counters; }
+inline void reset_counters() { detail::tl_counters = Counters{}; }
+
+// pwb: write back the cache line holding addr.  clflush is used rather
+// than clwb/clflushopt so the binary runs on any x86-64; the cost model
+// is pessimistic by a constant factor, which affects absolute throughput
+// but not the algorithm ranking the paper reports.
+inline void flush(const void* addr) {
+  ++detail::tl_counters.flushes;
+  if (mode() == Mode::shared_cache) {
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_clflush(addr);
+#else
+    (void)addr;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+}
+
+inline void pwb(const void* addr) { flush(addr); }
+
+// pfence: order preceding pwbs before subsequent stores.
+inline void fence() {
+  ++detail::tl_counters.fences;
+  if (mode() == Mode::shared_cache) {
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_sfence();
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+}
+
+// psync: drain — all earlier pwbs are durable once it returns.
+inline void psync() {
+  ++detail::tl_counters.psyncs;
+  if (mode() == Mode::shared_cache) {
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_sfence();
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+}
+
+// A word that notionally lives in NVRAM.  Plain load/store/CAS plus
+// persisted variants that issue the pwb (and optionally the pfence) the
+// algorithms place after durable writes.
+template <typename T>
+class persist {
+  static_assert(std::atomic<T>::is_always_lock_free,
+                "persist<T> requires a lock-free atomic representation");
+
+ public:
+  persist() = default;
+  explicit persist(T v) : cell_(v) {}
+
+  T load(std::memory_order mo = std::memory_order_acquire) const {
+    return cell_.load(mo);
+  }
+  void store(T v, std::memory_order mo = std::memory_order_release) {
+    cell_.store(v, mo);
+  }
+  bool cas(T& expected, T desired) {
+    return cell_.compare_exchange_strong(expected, desired);
+  }
+
+  // Store then immediately write the line back.
+  void store_flush(T v) {
+    cell_.store(v, std::memory_order_release);
+    flush(this);
+  }
+  // Store, write back, and order: the "durable linearization point"
+  // idiom used by the general transformation.
+  void store_persist(T v) {
+    store_flush(v);
+    fence();
+  }
+
+ private:
+  std::atomic<T> cell_{};
+};
+
+}  // namespace repro::pmem

@@ -1,0 +1,103 @@
+// Detectable-recovery semantics of the shared announcement API: after
+// any completed operation, the owning thread's descriptor holds the
+// operation and its response; an operation that never committed (the
+// crash model) is reported as incomplete.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "repro/ds/detectable.hpp"
+#include "repro/ds/dt_list.hpp"
+#include "repro/ds/isb_list.hpp"
+#include "repro/ds/isb_queue.hpp"
+#include "repro/ds/policies.hpp"
+#include "repro/pmem/persist.hpp"
+
+namespace {
+
+using repro::ds::AnnouncementBoard;
+using repro::ds::DetectableOp;
+using repro::ds::DtList;
+using repro::ds::IsbList;
+using repro::ds::IsbQueue;
+using repro::ds::OpKind;
+using repro::ds::PersistProfile;
+using repro::ds::thread_slot;
+
+TEST(Detectable, CompletedInsertIsRecoverable) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  IsbList list;
+  ASSERT_TRUE(list.insert(42));
+  const auto rec = list.recover(thread_slot());
+  EXPECT_EQ(rec.kind, OpKind::insert);
+  EXPECT_EQ(rec.key, 42);
+  EXPECT_TRUE(rec.completed);
+  EXPECT_TRUE(rec.ok);
+}
+
+TEST(Detectable, FailedOperationRecoversItsResponse) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  IsbList list;
+  ASSERT_TRUE(list.insert(7));
+  ASSERT_FALSE(list.insert(7));  // duplicate
+  const auto rec = list.recover(thread_slot());
+  EXPECT_EQ(rec.kind, OpKind::insert);
+  EXPECT_TRUE(rec.completed);
+  EXPECT_FALSE(rec.ok);
+}
+
+TEST(Detectable, DequeueRecoversValue) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  IsbQueue q;
+  q.enqueue(777);
+  const auto r = q.dequeue();
+  ASSERT_TRUE(r.ok);
+  const auto rec = q.recover(thread_slot());
+  EXPECT_EQ(rec.kind, OpKind::dequeue);
+  EXPECT_TRUE(rec.completed);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.result, 777u);
+}
+
+TEST(Detectable, FullValueSpaceSurvivesRecovery) {
+  // Regression: the descriptor must preserve all 64 value bits — a
+  // packed (value << 1 | ok) encoding would truncate bit 63.
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  constexpr std::uint64_t kBig = (1ull << 63) | 0xDEADBEEFull;
+  IsbQueue q;
+  q.enqueue(kBig);
+  const auto r = q.dequeue();
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.value, kBig);
+  const auto rec = q.recover(thread_slot());
+  EXPECT_TRUE(rec.completed);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_EQ(rec.result, kBig);
+}
+
+TEST(Detectable, UncommittedOpReportsIncomplete) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  AnnouncementBoard board;
+  {
+    // Announce and "crash" before commit.
+    DetectableOp op(board, OpKind::erase, 13, PersistProfile::general);
+    EXPECT_FALSE(op.committed());
+  }
+  const auto rec = board.recover(thread_slot());
+  EXPECT_EQ(rec.kind, OpKind::erase);
+  EXPECT_EQ(rec.key, 13);
+  EXPECT_FALSE(rec.completed);
+}
+
+TEST(Detectable, SequenceNumberDistinguishesOperations) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  DtList list;
+  ASSERT_TRUE(list.insert(1));
+  const auto first = list.recover(thread_slot());
+  ASSERT_TRUE(list.erase(1));
+  const auto second = list.recover(thread_slot());
+  EXPECT_EQ(second.seq, first.seq + 1);
+  EXPECT_EQ(second.kind, OpKind::erase);
+}
+
+}  // namespace

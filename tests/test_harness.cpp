@@ -1,0 +1,95 @@
+// Harness behaviour: RNG bounds, mix distribution, prefill density, and
+// the measurement loop's accounting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+
+#include "repro/harness/runner.hpp"
+#include "repro/harness/workload.hpp"
+#include "repro/pmem/persist.hpp"
+
+namespace {
+
+using repro::harness::kReadIntensive;
+using repro::harness::kUpdateIntensive;
+using repro::harness::Mix;
+using repro::harness::OpType;
+using repro::harness::Rng;
+using repro::harness::Workload;
+
+TEST(Workload, KeysStayInRange) {
+  Rng rng(7);
+  const Workload w{500, kReadIntensive};
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = w.pick_key(rng);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 500);
+  }
+}
+
+TEST(Workload, MixMatchesConfiguredPercentages) {
+  for (const Mix& mix : {kReadIntensive, kUpdateIntensive}) {
+    Rng rng(11);
+    const Workload w{100, mix};
+    int counts[3] = {0, 0, 0};
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+      ++counts[static_cast<int>(w.pick_op(rng))];
+    }
+    EXPECT_NEAR(counts[static_cast<int>(OpType::insert)],
+                kDraws * mix.insert_pct / 100, kDraws / 50);
+    EXPECT_NEAR(counts[static_cast<int>(OpType::erase)],
+                kDraws * mix.erase_pct / 100, kDraws / 50);
+    EXPECT_NEAR(counts[static_cast<int>(OpType::find)],
+                kDraws * mix.find_pct / 100, kDraws / 50);
+  }
+}
+
+TEST(Harness, PrefillInsertsRoughlyFortyPercent) {
+  struct RecordingSet {
+    std::set<std::int64_t> keys;
+    bool insert(std::int64_t k) { return keys.insert(k).second; }
+  } s;
+  repro::harness::prefill(s, 10000);
+  EXPECT_GT(s.keys.size(), 3500u);
+  EXPECT_LT(s.keys.size(), 4500u);
+  for (const auto k : s.keys) {
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 10000);
+  }
+}
+
+TEST(Harness, RunThreadsAccountsOpsAndCounters) {
+  setenv("REPRO_BENCH_MS", "30", 1);
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  const auto r = repro::harness::run_threads(4, [](int, Rng&) {
+    // One pwb+pfence+psync per "operation".
+    int x = 0;
+    repro::pmem::flush(&x);
+    repro::pmem::fence();
+    repro::pmem::psync();
+  });
+  unsetenv("REPRO_BENCH_MS");
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.ops_per_sec, 0.0);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_NEAR(r.flushes_per_op, 1.0, 0.01);
+  EXPECT_NEAR(r.barriers_per_op, 1.0, 0.01);
+  EXPECT_NEAR(r.psyncs_per_op, 1.0, 0.01);
+}
+
+TEST(Harness, EnvKnobsAreRespected) {
+  setenv("REPRO_BENCH_MS", "17", 1);
+  EXPECT_EQ(repro::harness::bench_ms(), 17);
+  unsetenv("REPRO_BENCH_MS");
+  EXPECT_EQ(repro::harness::bench_ms(), 100);
+
+  setenv("REPRO_MAX_THREADS", "3", 1);
+  EXPECT_EQ(repro::harness::max_threads(), 3);
+  unsetenv("REPRO_MAX_THREADS");
+  EXPECT_GE(repro::harness::max_threads(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Persistence-instruction invariants, measured in count_only mode —
+// these are the deterministic properties Figures 1b/1c, 5 and 6 rest
+// on: the tuned ISB placement issues strictly fewer pwbs and pbarriers
+// than the general one, the read-only optimization makes find() free,
+// capsule costs dominate, and counts are independent of the execution
+// mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "repro/baselines/capsules_list.hpp"
+#include "repro/baselines/log_queue.hpp"
+#include "repro/ds/isb_list.hpp"
+#include "repro/ds/isb_queue.hpp"
+#include "repro/pmem/persist.hpp"
+
+namespace {
+
+using repro::baselines::CapsulesList;
+using repro::baselines::LogQueue;
+using repro::ds::IsbList;
+using repro::ds::IsbQueue;
+using repro::ds::PersistProfile;
+using repro::pmem::Counters;
+
+template <typename F>
+Counters count(F&& f) {
+  const Counters before = repro::pmem::counters();
+  f();
+  return repro::pmem::counters() - before;
+}
+
+template <typename Set>
+void churn(Set& s) {
+  for (std::int64_t k = 1; k <= 64; ++k) s.insert(k);
+  for (std::int64_t k = 1; k <= 64; ++k) s.find(k);
+  for (std::int64_t k = 1; k <= 64; ++k) s.erase(k);
+}
+
+TEST(PersistenceCounters, IsbOptimizedStrictlyCheaper) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  IsbList general(IsbList::Config{PersistProfile::general, true});
+  IsbList optimized(IsbList::Config{PersistProfile::optimized, true});
+  const Counters cg = count([&] { churn(general); });
+  const Counters co = count([&] { churn(optimized); });
+  EXPECT_LT(co.flushes, cg.flushes);
+  EXPECT_LT(co.fences, cg.fences);
+  EXPECT_EQ(co.psyncs, cg.psyncs);  // one durable point per update
+  EXPECT_GT(co.psyncs, 0u);
+}
+
+TEST(PersistenceCounters, ReadOnlyOptimizationMakesFindsFree) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  for (const auto profile :
+       {PersistProfile::general, PersistProfile::optimized}) {
+    IsbList with_opt(IsbList::Config{profile, true});
+    IsbList without_opt(IsbList::Config{profile, false});
+    for (std::int64_t k = 1; k <= 32; ++k) {
+      with_opt.insert(k);
+      without_opt.insert(k);
+    }
+    const Counters free_finds = count([&] {
+      for (std::int64_t k = 1; k <= 32; ++k) with_opt.find(k);
+    });
+    EXPECT_EQ(free_finds.flushes, 0u);
+    EXPECT_EQ(free_finds.fences, 0u);
+    EXPECT_EQ(free_finds.psyncs, 0u);
+    const Counters paid_finds = count([&] {
+      for (std::int64_t k = 1; k <= 32; ++k) without_opt.find(k);
+    });
+    EXPECT_GT(paid_finds.flushes, 0u);
+    EXPECT_GT(paid_finds.psyncs, 0u);
+  }
+}
+
+TEST(PersistenceCounters, CapsulesGeneralPaysPerRead) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  CapsulesList general(CapsulesList::Variant::general);
+  CapsulesList optimized(CapsulesList::Variant::optimized);
+  const Counters cg = count([&] { churn(general); });
+  const Counters co = count([&] { churn(optimized); });
+  // The general construction checkpoints a capsule at every shared
+  // read, so its traversal cost dwarfs the optimized variant's.
+  EXPECT_GT(cg.flushes, 2 * co.flushes);
+  EXPECT_GT(cg.fences, 2 * co.fences);
+}
+
+TEST(PersistenceCounters, IsbQueueBeatsLogQueuePerOp) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  IsbQueue isb;
+  LogQueue log;
+  const Counters ci = count([&] {
+    for (std::uint64_t v = 0; v < 128; ++v) isb.enqueue(v);
+    for (std::uint64_t v = 0; v < 128; ++v) isb.dequeue();
+  });
+  const Counters cl = count([&] {
+    for (std::uint64_t v = 0; v < 128; ++v) log.enqueue(v);
+    for (std::uint64_t v = 0; v < 128; ++v) log.dequeue();
+  });
+  EXPECT_LT(ci.flushes, cl.flushes);
+  EXPECT_LT(ci.fences, cl.fences);
+}
+
+TEST(PersistenceCounters, CountsIndependentOfMode) {
+  // The same operation sequence must tally identically whether the
+  // instructions execute (shared_cache / private_cache) or not
+  // (count_only) — this is what makes Figures 1b/1c deterministic.
+  Counters per_mode[3];
+  const repro::pmem::Mode modes[3] = {repro::pmem::Mode::shared_cache,
+                                      repro::pmem::Mode::private_cache,
+                                      repro::pmem::Mode::count_only};
+  for (int i = 0; i < 3; ++i) {
+    repro::pmem::ModeGuard guard(modes[i]);
+    IsbList list;
+    per_mode[i] = count([&] { churn(list); });
+  }
+  EXPECT_EQ(per_mode[0].flushes, per_mode[1].flushes);
+  EXPECT_EQ(per_mode[1].flushes, per_mode[2].flushes);
+  EXPECT_EQ(per_mode[0].fences, per_mode[1].fences);
+  EXPECT_EQ(per_mode[1].fences, per_mode[2].fences);
+  EXPECT_EQ(per_mode[0].psyncs, per_mode[2].psyncs);
+}
+
+TEST(PersistenceCounters, PersistWordHelpers) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  repro::pmem::persist<std::uint64_t> w{0};
+  const Counters c = count([&] {
+    w.store_flush(1);
+    w.store_persist(2);
+  });
+  EXPECT_EQ(w.load(), 2u);
+  EXPECT_EQ(c.flushes, 2u);
+  EXPECT_EQ(c.fences, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Queue semantics across every queue in the library, all through the
+// unified DequeueResult dequeue() signature: single-thread FIFO order,
+// and an MPMC stress checking no loss, no duplication, and per-producer
+// order.  Also covers the stack and the exchanger.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "repro/baselines/capsules_queue.hpp"
+#include "repro/baselines/log_queue.hpp"
+#include "repro/baselines/ms_queue.hpp"
+#include "repro/ds/dt_stack.hpp"
+#include "repro/ds/isb_exchanger.hpp"
+#include "repro/ds/isb_queue.hpp"
+#include "repro/pmem/persist.hpp"
+
+namespace {
+
+using repro::baselines::CapsulesQueue;
+using repro::baselines::LogQueue;
+using repro::baselines::MsQueue;
+using repro::ds::DtStack;
+using repro::ds::IsbExchanger;
+using repro::ds::IsbQueue;
+
+template <typename Queue>
+void check_fifo(Queue& q) {
+  EXPECT_FALSE(q.dequeue().ok);
+  for (std::uint64_t v = 1; v <= 100; ++v) q.enqueue(v);
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    const auto r = q.dequeue();
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.value, v);
+  }
+  EXPECT_FALSE(q.dequeue().ok);
+}
+
+// 4 producers tag items (producer << 32 | seq); 4 consumers drain.
+// Checks: every item received exactly once, and per-producer FIFO.
+template <typename Queue>
+void check_mpmc(Queue& q) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  std::atomic<std::uint64_t> received{0};
+  std::vector<std::vector<std::uint64_t>> got(kConsumers);
+  std::vector<std::thread> ws;
+  for (int p = 0; p < kProducers; ++p) {
+    ws.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        q.enqueue(static_cast<std::uint64_t>(p) << 32 | i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    ws.emplace_back([&q, &received, &got, c] {
+      while (received.load() < kProducers * kPerProducer) {
+        const auto r = q.dequeue();
+        if (r.ok) {
+          got[c].push_back(r.value);
+          received.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : ws) w.join();
+
+  std::map<std::uint64_t, int> seen;
+  std::vector<std::vector<std::uint64_t>> per_producer(kProducers);
+  for (const auto& v : got) {
+    for (const std::uint64_t x : v) {
+      ++seen[x];
+      per_producer[x >> 32].push_back(x & 0xFFFFFFFFu);
+    }
+  }
+  EXPECT_EQ(seen.size(), kProducers * kPerProducer);
+  for (const auto& [value, count] : seen) {
+    ASSERT_EQ(count, 1) << "duplicated value " << value;
+  }
+  // Per-producer order within a single consumer's stream must ascend.
+  for (int c = 0; c < kConsumers; ++c) {
+    std::vector<std::uint64_t> last(kProducers, 0);
+    std::vector<bool> any(kProducers, false);
+    for (const std::uint64_t x : got[c]) {
+      const auto p = static_cast<int>(x >> 32);
+      const std::uint64_t i = x & 0xFFFFFFFFu;
+      if (any[p]) EXPECT_LT(last[p], i);
+      last[p] = i;
+      any[p] = true;
+    }
+  }
+}
+
+template <typename Queue, typename... Args>
+void run_all_queue_checks(Args&&... args) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  {
+    Queue q(std::forward<Args>(args)...);
+    check_fifo(q);
+  }
+  {
+    Queue q(std::forward<Args>(args)...);
+    check_mpmc(q);
+  }
+}
+
+TEST(Queues, MsQueue) { run_all_queue_checks<MsQueue>(); }
+
+TEST(Queues, MsQueueUnifiedSignature) {
+  // The satellite fix: the volatile baseline exposes the same
+  // DequeueResult dequeue() as every recoverable queue.
+  MsQueue q;
+  q.enqueue(9);
+  const repro::ds::DequeueResult r = q.dequeue();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 9u);
+}
+
+TEST(Queues, IsbQueue) { run_all_queue_checks<IsbQueue>(); }
+
+TEST(Queues, LogQueue) { run_all_queue_checks<LogQueue>(); }
+
+TEST(Queues, CapsulesQueueGeneral) {
+  run_all_queue_checks<CapsulesQueue>(CapsulesQueue::Variant::general);
+}
+
+TEST(Queues, CapsulesQueueOptimized) {
+  run_all_queue_checks<CapsulesQueue>(CapsulesQueue::Variant::optimized);
+}
+
+TEST(Queues, CapsulesQueueNormalized) {
+  run_all_queue_checks<CapsulesQueue>(CapsulesQueue::Variant::normalized);
+}
+
+TEST(Stack, LifoSingleThread) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  DtStack s;
+  EXPECT_FALSE(s.pop().ok);
+  for (std::uint64_t v = 1; v <= 50; ++v) s.push(v);
+  for (std::uint64_t v = 50; v >= 1; --v) {
+    const auto r = s.pop();
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.value, v);
+  }
+  EXPECT_FALSE(s.pop().ok);
+}
+
+TEST(Stack, ConcurrentPushPopConserved) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  for (const bool elim : {false, true}) {
+    DtStack::Config cfg;
+    cfg.elimination = elim;
+    DtStack s(cfg);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 4000;
+    std::atomic<std::uint64_t> pushed_sum{0};
+    std::atomic<std::uint64_t> popped_sum{0};
+    std::atomic<std::uint64_t> popped_n{0};
+    std::vector<std::thread> ws;
+    for (int t = 0; t < kThreads; ++t) {
+      ws.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          // High bit set: elimination must transfer full 64-bit values.
+          const auto v = (1ull << 63) |
+                         static_cast<std::uint64_t>(t * kPerThread + i + 1);
+          if (i % 2 == 0) {
+            s.push(v);
+            pushed_sum.fetch_add(v);
+          } else {
+            const auto r = s.pop();
+            if (r.ok) {
+              popped_sum.fetch_add(r.value);
+              popped_n.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (auto& w : ws) w.join();
+    // Drain the remainder; pushed and popped values must balance.
+    while (true) {
+      const auto r = s.pop();
+      if (!r.ok) break;
+      popped_sum.fetch_add(r.value);
+      popped_n.fetch_add(1);
+    }
+    EXPECT_EQ(pushed_sum.load(), popped_sum.load()) << "elim=" << elim;
+  }
+}
+
+TEST(Exchanger, PairsTwoThreads) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  IsbExchanger ex;
+  repro::ds::DequeueResult r1, r2;
+  std::thread a([&] {
+    while (!r1.ok) r1 = ex.exchange(111, 1024);
+  });
+  std::thread b([&] {
+    while (!r2.ok) r2 = ex.exchange(222, 1024);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(r1.value, 222u);
+  EXPECT_EQ(r2.value, 111u);
+}
+
+TEST(Exchanger, TimesOutAlone) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  IsbExchanger ex;
+  const auto r = ex.exchange(7, 16);
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Set semantics across every list-shaped structure in the library:
+// single-thread correctness against a reference std::set, and
+// multi-thread smoke under 8 threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "repro/baselines/capsules_list.hpp"
+#include "repro/baselines/harris_list.hpp"
+#include "repro/ds/dt_list.hpp"
+#include "repro/ds/dt_skiplist.hpp"
+#include "repro/ds/isb_bst.hpp"
+#include "repro/ds/isb_list.hpp"
+#include "repro/pmem/persist.hpp"
+
+namespace {
+
+using repro::baselines::CapsulesList;
+using repro::baselines::HarrisList;
+using repro::ds::DtList;
+using repro::ds::DtSkipList;
+using repro::ds::IsbBst;
+using repro::ds::IsbList;
+using repro::ds::PersistProfile;
+
+template <typename Set>
+void check_basic_semantics(Set& s) {
+  EXPECT_FALSE(s.find(5));
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.find(5));
+  EXPECT_FALSE(s.find(6));
+  EXPECT_TRUE(s.insert(6));
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_FALSE(s.find(5));
+  EXPECT_TRUE(s.find(6));
+  // Re-insert after erase (exercises tombstone revival in BST/skiplist).
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.find(5));
+}
+
+template <typename Set>
+void check_against_reference(Set& s, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::set<std::int64_t> ref;
+  for (int i = 0; i < 4000; ++i) {
+    const std::int64_t k = 1 + static_cast<std::int64_t>(rng() % 64);
+    switch (rng() % 3) {
+      case 0:
+        EXPECT_EQ(s.insert(k), ref.insert(k).second) << "key " << k;
+        break;
+      case 1:
+        EXPECT_EQ(s.erase(k), ref.erase(k) > 0) << "key " << k;
+        break;
+      default:
+        EXPECT_EQ(s.find(k), ref.count(k) > 0) << "key " << k;
+        break;
+    }
+  }
+}
+
+// Threads own disjoint key ranges: afterwards everything inserted and
+// not erased must be present, everything erased absent.
+template <typename Set>
+void check_disjoint_threads(Set& s) {
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 512;
+  std::vector<std::thread> ws;
+  for (int t = 0; t < kThreads; ++t) {
+    ws.emplace_back([&s, t] {
+      const std::int64_t base = t * kPerThread * 2;
+      for (std::int64_t k = 0; k < kPerThread; ++k) {
+        ASSERT_TRUE(s.insert(base + k));
+      }
+      for (std::int64_t k = 0; k < kPerThread; k += 2) {
+        ASSERT_TRUE(s.erase(base + k));
+      }
+    });
+  }
+  for (auto& w : ws) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const std::int64_t base = t * kPerThread * 2;
+    for (std::int64_t k = 0; k < kPerThread; ++k) {
+      EXPECT_EQ(s.find(base + k), k % 2 == 1) << "key " << base + k;
+    }
+  }
+}
+
+// Contended random mix; afterwards single-thread invariants must hold
+// for every key (present => duplicate insert fails, erase succeeds).
+template <typename Set>
+void check_contended_chaos(Set& s) {
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kRange = 128;
+  std::vector<std::thread> ws;
+  for (int t = 0; t < kThreads; ++t) {
+    ws.emplace_back([&s, t] {
+      std::mt19937 rng(1234u + static_cast<unsigned>(t));
+      for (int i = 0; i < 20000; ++i) {
+        const std::int64_t k = 1 + static_cast<std::int64_t>(rng() % kRange);
+        switch (rng() % 3) {
+          case 0:
+            s.insert(k);
+            break;
+          case 1:
+            s.erase(k);
+            break;
+          default:
+            s.find(k);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : ws) w.join();
+  for (std::int64_t k = 1; k <= kRange; ++k) {
+    if (s.find(k)) {
+      EXPECT_FALSE(s.insert(k)) << "key " << k;
+      EXPECT_TRUE(s.erase(k)) << "key " << k;
+    } else {
+      EXPECT_FALSE(s.erase(k)) << "key " << k;
+      EXPECT_TRUE(s.insert(k)) << "key " << k;
+    }
+  }
+}
+
+template <typename Set, typename... Args>
+void run_all_set_checks(Args&&... args) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  {
+    Set s(std::forward<Args>(args)...);
+    check_basic_semantics(s);
+  }
+  {
+    Set s(std::forward<Args>(args)...);
+    check_against_reference(s, 42);
+  }
+  {
+    Set s(std::forward<Args>(args)...);
+    check_disjoint_threads(s);
+  }
+  {
+    Set s(std::forward<Args>(args)...);
+    check_contended_chaos(s);
+  }
+}
+
+TEST(Sets, HarrisList) { run_all_set_checks<HarrisList>(); }
+
+TEST(Sets, IsbListGeneral) {
+  run_all_set_checks<IsbList>(
+      IsbList::Config{PersistProfile::general, true});
+}
+
+TEST(Sets, IsbListOptimized) {
+  run_all_set_checks<IsbList>(
+      IsbList::Config{PersistProfile::optimized, true});
+}
+
+TEST(Sets, IsbListNoReadOnlyOpt) {
+  run_all_set_checks<IsbList>(
+      IsbList::Config{PersistProfile::general, false});
+}
+
+TEST(Sets, DtListGeneral) {
+  run_all_set_checks<DtList>(PersistProfile::general);
+}
+
+TEST(Sets, DtListOptimized) {
+  run_all_set_checks<DtList>(PersistProfile::optimized);
+}
+
+TEST(Sets, CapsulesListGeneral) {
+  run_all_set_checks<CapsulesList>(CapsulesList::Variant::general);
+}
+
+TEST(Sets, CapsulesListOptimized) {
+  run_all_set_checks<CapsulesList>(CapsulesList::Variant::optimized);
+}
+
+TEST(Sets, IsbBst) { run_all_set_checks<IsbBst>(PersistProfile::general); }
+
+TEST(Sets, DtSkipList) { run_all_set_checks<DtSkipList>(); }
+
+}  // namespace
