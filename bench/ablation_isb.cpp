@@ -1,89 +1,35 @@
-// Ablation (not a paper figure): isolates the two design choices the
-// paper discusses in the text -
-//  (1) the hand-tuned persistence placement (Isb vs Isb-Opt), and
-//  (2) the Algorithm 2 read-only optimization (with vs without).
+// Ablation (not a paper figure): isolates the design choices the paper
+// discusses in the text -
+//  (1) the hand-tuned persistence placement (Isb vs Isb-Opt),
+//  (2) the Algorithm 2 read-only optimization (with vs without), and
+//  (3) workload skew: the paper's uniform keys vs a Zipfian(0.99)
+//      distribution that concentrates traffic on the low end of the list.
 // Read-intensive workload, where (2) matters most, shared-cache model,
 // plus a count_only pass for the instruction deltas.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace repro;
-using namespace repro::bench;
-using repro::ds::IsbList;
-using repro::ds::PersistProfile;
-
-std::vector<SetAlgo> ablation_algos() {
-  auto mk = [](PersistProfile p, bool ro) {
-    IsbList::Config c;
-    c.profile = p;
-    c.read_only_opt = ro;
-    return c;
-  };
-  return {
-      {"Isb",
-       [mk] {
-         return std::make_unique<SetAdapter<IsbList>>(
-             mk(PersistProfile::general, true));
-       }},
-      {"Isb-Opt",
-       [mk] {
-         return std::make_unique<SetAdapter<IsbList>>(
-             mk(PersistProfile::optimized, true));
-       }},
-      {"Isb-noROopt",
-       [mk] {
-         return std::make_unique<SetAdapter<IsbList>>(
-             mk(PersistProfile::general, false));
-       }},
-      {"Isb-Opt-noROopt",
-       [mk] {
-         return std::make_unique<SetAdapter<IsbList>>(
-             mk(PersistProfile::optimized, false));
-       }},
-  };
-}
-
-void register_all() {
-  static const std::vector<SetAlgo> algos = ablation_algos();
-  struct Sub {
-    const char* label;
-    pmem::Mode mode;
-  };
-  const Sub subs[] = {{"throughput(shared)", pmem::Mode::shared_cache},
-                      {"instructions(count)", pmem::Mode::count_only}};
-  for (const auto& sub : subs) {
-    for (const auto& algo : algos) {
-      for (int t : thread_series()) {
-        const auto name = std::string("ablation/") + sub.label + "/" +
-                          algo.name + "/threads:" + std::to_string(t);
-        benchmark::RegisterBenchmark(
-            name.c_str(),
-            [&algo, sub, t](benchmark::State& s) {
-              pmem::ModeGuard guard(sub.mode);
-              for (auto _ : s) {
-                const auto r = run_set_point(algo, 500,
-                                             harness::kReadIntensive, t);
-                publish(s, r);
-                harness::print_row(algo.name, sub.label, t, r);
-              }
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  repro::harness::print_figure_header(
-      "Ablation", "Isb persistence profiles and read-only optimization");
-  repro::harness::print_columns();
-  register_all();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  using namespace repro::harness;
+  ExperimentSpec base;
+  base.structures = {"Isb", "Isb-Opt", "Isb-noROopt", "Isb-Opt-noROopt"};
+  base.key_ranges = {500};
+  base.mixes = {kReadIntensive};
+
+  ExperimentSpec throughput = base;
+  throughput.figure = "ablation-throughput";
+  throughput.what = "Isb persistence profiles x read-only optimization";
+
+  ExperimentSpec counts = base;
+  counts.figure = "ablation-count";
+  counts.what = "persistence-instruction deltas (count_only)";
+  counts.modes = {repro::pmem::Mode::count_only};
+
+  ExperimentSpec skew = base;
+  skew.figure = "ablation-zipf";
+  skew.what = "Zipfian(0.99) key skew vs the uniform baseline";
+  skew.structures = {"trait:paper-list"};
+  skew.dist = KeyDist::zipfian;
+
+  return repro::bench::experiment_main(argc, argv,
+                                       {throughput, counts, skew});
 }

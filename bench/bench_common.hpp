@@ -1,141 +1,30 @@
-// Shared scaffolding for the figure benches: type-erased set/queue
-// adapters over every evaluated implementation, the thread series, and a
-// helper that runs one data point and reports it both through
-// google-benchmark counters and as a paper-style table row.
+// google-benchmark glue for the figure binaries: registers every
+// expanded point of each ExperimentSpec as a benchmark (so
+// --benchmark_filter keeps selecting sub-grids) and publishes each
+// RunResult's quantities as state counters alongside the result sinks.
+// All grid mechanics live in the library (harness/experiment.hpp); a
+// figure binary is just spec literals + experiment_main().
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <string>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <utility>
 #include <vector>
 
-#include "baselines/capsules_list.hpp"
-#include "baselines/capsules_queue.hpp"
-#include "baselines/harris_list.hpp"
-#include "baselines/log_queue.hpp"
-#include "baselines/ms_queue.hpp"
-#include "ds/dt_list.hpp"
-#include "ds/isb_list.hpp"
-#include "ds/isb_queue.hpp"
-#include "harness/report.hpp"
-#include "harness/runner.hpp"
-#include "harness/workload.hpp"
-#include "pmem/persist.hpp"
+#include "harness/experiment.hpp"
 
 namespace repro::bench {
 
-// ---------------------------------------------------------------------
-// Set (linked list) adapters
-// ---------------------------------------------------------------------
-
-struct SetIface {
-  virtual ~SetIface() = default;
-  virtual bool insert(std::int64_t k) = 0;
-  virtual bool erase(std::int64_t k) = 0;
-  virtual bool find(std::int64_t k) = 0;
-};
-
-template <typename L>
-struct SetAdapter final : SetIface {
-  L impl;
-  template <typename... Args>
-  explicit SetAdapter(Args&&... args)
-      : impl(static_cast<Args&&>(args)...) {}
-  bool insert(std::int64_t k) override { return impl.insert(k); }
-  bool erase(std::int64_t k) override { return impl.erase(k); }
-  bool find(std::int64_t k) override { return impl.find(k); }
-};
-
-struct SetAlgo {
-  std::string name;
-  std::function<std::unique_ptr<SetIface>()> make;
-};
-
-// The paper's evaluated list algorithms (Section 5 naming).
-inline std::vector<SetAlgo> paper_list_algos() {
-  using repro::baselines::CapsulesList;
-  using repro::ds::DtList;
-  using repro::ds::IsbList;
-  using repro::ds::PersistProfile;
-  return {
-      {"Isb",
-       [] {
-         IsbList::Config c;
-         c.profile = PersistProfile::general;
-         return std::make_unique<SetAdapter<IsbList>>(c);
-       }},
-      {"Isb-Opt",
-       [] {
-         IsbList::Config c;
-         c.profile = PersistProfile::optimized;
-         return std::make_unique<SetAdapter<IsbList>>(c);
-       }},
-      {"Capsules",
-       [] {
-         return std::make_unique<SetAdapter<CapsulesList>>(
-             CapsulesList::Variant::general);
-       }},
-      {"Capsules-Opt",
-       [] {
-         return std::make_unique<SetAdapter<CapsulesList>>(
-             CapsulesList::Variant::optimized);
-       }},
-      {"DT-Opt",
-       [] {
-         return std::make_unique<SetAdapter<DtList>>(
-             PersistProfile::optimized);
-       }},
-  };
-}
-
-inline SetAlgo harris_algo() {
-  return {"Harris-LL", [] {
-            return std::make_unique<SetAdapter<baselines::HarrisList>>();
-          }};
-}
-
-inline SetAlgo dt_general_algo() {
-  return {"DT", [] {
-            return std::make_unique<SetAdapter<repro::ds::DtList>>(
-                repro::ds::PersistProfile::general);
-          }};
-}
-
-// ---------------------------------------------------------------------
-// Data-point execution
-// ---------------------------------------------------------------------
-
-inline std::vector<int> thread_series() {
-  std::vector<int> s;
-  for (int t = 1; t <= harness::max_threads(); t *= 2) s.push_back(t);
+// Process-wide sinks: stdout table + optional REPRO_OUT file.
+inline harness::SinkSet& sinks() {
+  static harness::SinkSet s = harness::default_sinks();
   return s;
-}
-
-// Runs the paper's set benchmark on one algorithm / key range / mix /
-// thread count; prefills to ~40% and measures for REPRO_BENCH_MS.
-inline harness::RunResult run_set_point(const SetAlgo& algo,
-                                        std::int64_t key_range,
-                                        harness::Mix mix, int threads) {
-  auto set = algo.make();
-  harness::prefill(*set, key_range);
-  const harness::Workload w{key_range, mix};
-  return harness::run_threads(threads, [&](int, harness::Rng& rng) {
-    const auto key = w.pick_key(rng);
-    switch (w.pick_op(rng)) {
-      case harness::OpType::insert:
-        benchmark::DoNotOptimize(set->insert(key));
-        break;
-      case harness::OpType::erase:
-        benchmark::DoNotOptimize(set->erase(key));
-        break;
-      case harness::OpType::find:
-        benchmark::DoNotOptimize(set->find(key));
-        break;
-    }
-  });
 }
 
 // Publishes a run through google-benchmark state counters.
@@ -147,77 +36,97 @@ inline void publish(benchmark::State& state, const harness::RunResult& r) {
   state.SetItemsProcessed(static_cast<std::int64_t>(r.total_ops));
 }
 
-// ---------------------------------------------------------------------
-// Queue adapters
-// ---------------------------------------------------------------------
-
-struct QueueIface {
-  virtual ~QueueIface() = default;
-  virtual void enqueue(std::uint64_t v) = 0;
-  virtual bool dequeue(std::uint64_t& out) = 0;
+// Registered specs need stable addresses (benchmark lambdas outlive
+// registration) and a once-flag so the table header prints when the
+// spec's first surviving point actually runs under the filter.
+struct SpecState {
+  harness::ExperimentSpec spec;
+  std::once_flag header_once;
 };
 
-template <typename Q>
-struct QueueAdapter final : QueueIface {
-  Q impl;
-  template <typename... Args>
-  explicit QueueAdapter(Args&&... args)
-      : impl(static_cast<Args&&>(args)...) {}
-  void enqueue(std::uint64_t v) override { impl.enqueue(v); }
-  // Every queue, including the volatile MS-queue baseline, returns the
-  // unified ds::DequeueResult, so one adapter body covers them all.
-  bool dequeue(std::uint64_t& out) override {
-    const auto r = impl.dequeue();
-    out = r.value;
-    return r.ok;
+// Returns the number of points registered; an empty grid is a spec bug
+// (typo'd selector, impossible axis combination) that must not let the
+// binary exit 0 having measured nothing.
+inline std::size_t register_spec(SpecState* st) {
+  const auto points = harness::expand(st->spec);
+  for (const harness::Point& p : points) {
+    const auto name = harness::point_name(st->spec, p);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [st, p](benchmark::State& s) {
+          for (auto _ : s) {
+            std::call_once(st->header_once, [st] {
+              sinks().begin(st->spec.figure, st->spec.what);
+            });
+            const auto row = harness::run_point(st->spec, p);
+            publish(s, row.run);
+            sinks().row(row);
+          }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
   }
-};
-
-struct QueueAlgo {
-  std::string name;
-  std::function<std::unique_ptr<QueueIface>()> make;
-};
-
-inline std::vector<QueueAlgo> paper_queue_algos() {
-  using repro::baselines::CapsulesQueue;
-  using repro::baselines::LogQueue;
-  using repro::ds::IsbQueue;
-  return {
-      {"Isb-Queue",
-       [] { return std::make_unique<QueueAdapter<IsbQueue>>(); }},
-      {"Log-Queue",
-       [] { return std::make_unique<QueueAdapter<LogQueue>>(); }},
-      {"Capsules-General",
-       [] {
-         return std::make_unique<QueueAdapter<CapsulesQueue>>(
-             CapsulesQueue::Variant::general);
-       }},
-      {"Capsules-Normal",
-       [] {
-         return std::make_unique<QueueAdapter<CapsulesQueue>>(
-             CapsulesQueue::Variant::normalized);
-       }},
-  };
+  return points.size();
 }
 
-inline QueueAlgo ms_queue_algo() {
-  return {"MS-Queue", [] {
-            return std::make_unique<QueueAdapter<baselines::MsQueue>>();
-          }};
-}
-
-// Enqueue/dequeue pairs (the paper's queue benchmark), prefilled.
-inline harness::RunResult run_queue_point(const QueueAlgo& algo,
-                                          std::size_t prefill, int threads) {
-  auto q = algo.make();
-  for (std::size_t i = 0; i < prefill; ++i) {
-    q->enqueue(static_cast<std::uint64_t>(i));
+// Shared main body: exit code reflects crash-scenario detectability.
+inline int experiment_main(int argc, char** argv,
+                           std::vector<harness::ExperimentSpec> specs) {
+  // --benchmark_list_tests (and its =true form) enumerates without
+  // running anything; that must not trip the no-points-ran guard below.
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0 &&
+        std::strstr(argv[i], "false") == nullptr &&
+        std::strstr(argv[i], "=0") == nullptr) {
+      list_only = true;
+    }
   }
-  return harness::run_threads(threads, [&](int, harness::Rng& rng) {
-    q->enqueue(rng.next());
-    std::uint64_t out = 0;
-    benchmark::DoNotOptimize(q->dequeue(out));
-  });
+  benchmark::Initialize(&argc, argv);
+  static std::deque<SpecState> states;
+  bool empty_spec = false;
+  std::size_t registered = 0;
+  for (auto& spec : specs) {
+    states.emplace_back();
+    states.back().spec = std::move(spec);
+    const std::size_t n = register_spec(&states.back());
+    registered += n;
+    if (n == 0) {
+      const auto& s = states.back().spec;
+      // expand() already diagnosed any unmatched selectors.
+      if (harness::selected_structures(s, /*diagnose=*/false).empty()) {
+        // No structure survived selection: a typo'd selector or a
+        // crash schedule over non-detectable structures.
+        std::fprintf(stderr, "repro: spec %s expanded to zero points\n",
+                     s.figure.c_str());
+        empty_spec = true;
+      } else {
+        // Structures matched but every point was dropped by a kind
+        // constraint (e.g. the exchanger needs pairs and the thread
+        // series tops out at 1) — legitimate on small hosts.
+        std::fprintf(stderr, "repro: spec %s: no runnable points\n",
+                     s.figure.c_str());
+      }
+    }
+  }
+  const std::uint64_t run_before = harness::points_run();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // A --benchmark_filter matching none of the registered benchmarks
+  // would otherwise exit 0 having measured nothing — the same hole as
+  // an empty grid, and fatal for crash_recovery, whose ctest gate is
+  // this exit code.  (With zero registered points the empty_spec /
+  // benign-empty diagnosis above already decided the outcome.)
+  if (!list_only && registered > 0 &&
+      harness::points_run() == run_before) {
+    std::fprintf(stderr,
+                 "repro: no data points ran (filter matched nothing?)\n");
+    return 1;
+  }
+  return (harness::crash_failures() > 0 || harness::spec_errors() > 0 ||
+          harness::sink_errors() > 0 || empty_spec)
+             ? 1
+             : 0;
 }
 
 }  // namespace repro::bench

@@ -1,0 +1,29 @@
+// Crash-recovery scenario (the paper's Section 2 correctness property,
+// exercised dynamically): run the normal workload, stop the workers at
+// the crash point with one operation in flight per thread, replay every
+// thread's AnnouncementBoard::recover(), and verify detectability —
+// each interrupted thread learns either completed-with-response or
+// not-applied for its last operation.  The recover() replay wall time
+// is reported as recovery latency (the `recover=` suffix in the table,
+// `recovery_us` in CSV/JSON rows).  Any detectability violation makes
+// the binary exit non-zero, which the ctest smoke test turns into a
+// failure.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro::harness;
+  ExperimentSpec lists;
+  lists.figure = "crash-lists";
+  lists.what = "detectable recovery after a mid-interval crash (lists)";
+  lists.structures = {"Isb", "Isb-Opt", "DT-Opt"};
+  lists.key_ranges = {500};
+  lists.mixes = {kUpdateIntensive};
+  lists.crash_after_ms = 30;
+
+  ExperimentSpec queues = lists;
+  queues.figure = "crash-queues";
+  queues.what = "detectable recovery after a mid-interval crash (queues)";
+  queues.structures = {"trait:paper-queue"};  // non-detectable are skipped
+
+  return repro::bench::experiment_main(argc, argv, {lists, queues});
+}

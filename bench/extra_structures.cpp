@@ -1,179 +1,33 @@
 // Section 6 structures (numbers deferred to the paper's full version):
 // feasibility benchmarks for the recoverable BST, the recoverable
-// exchanger, and the direct-tracking elimination stack.
+// skiplist, the direct-tracking elimination stack, and the recoverable
+// exchanger.
 #include "bench_common.hpp"
-#include "ds/dt_stack.hpp"
-#include "ds/isb_bst.hpp"
-#include "ds/dt_skiplist.hpp"
-#include "ds/isb_exchanger.hpp"
-
-namespace {
-
-using namespace repro;
-using namespace repro::bench;
-
-void register_bst() {
-  using repro::ds::IsbBst;
-  using repro::ds::PersistProfile;
-  static const std::vector<std::pair<std::string, PersistProfile>> profiles =
-      {{"Bst-Isb", PersistProfile::general},
-       {"Bst-Isb-Opt", PersistProfile::optimized}};
-  for (const auto& [name, profile] : profiles) {
-    for (auto mix : {harness::kReadIntensive, harness::kUpdateIntensive}) {
-      for (int t : thread_series()) {
-        const auto bm = "bst/" + name + "/" + mix.name +
-                        "/threads:" + std::to_string(t);
-        const auto p = profile;
-        const auto nm = name;
-        benchmark::RegisterBenchmark(
-            bm.c_str(),
-            [p, nm, mix, t](benchmark::State& s) {
-              pmem::ModeGuard guard(pmem::Mode::shared_cache);
-              for (auto _ : s) {
-                IsbBst tree(p);
-                harness::prefill(tree, 4096);
-                const harness::Workload w{4096, mix};
-                const auto r = harness::run_threads(
-                    t, [&](int, harness::Rng& rng) {
-                      const auto k = w.pick_key(rng);
-                      switch (w.pick_op(rng)) {
-                        case harness::OpType::insert:
-                          benchmark::DoNotOptimize(tree.insert(k));
-                          break;
-                        case harness::OpType::erase:
-                          benchmark::DoNotOptimize(tree.erase(k));
-                          break;
-                        case harness::OpType::find:
-                          benchmark::DoNotOptimize(tree.find(k));
-                          break;
-                      }
-                    });
-                publish(s, r);
-                harness::print_row(nm, std::string("range=4096 ") + mix.name,
-                                   t, r);
-              }
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
-  }
-}
-
-void register_stack() {
-  using repro::ds::DtStack;
-  for (bool elim : {false, true}) {
-    for (int t : thread_series()) {
-      const auto bm = std::string("stack/") +
-                      (elim ? "DT-Elimination" : "DT-Treiber") +
-                      "/threads:" + std::to_string(t);
-      benchmark::RegisterBenchmark(
-          bm.c_str(),
-          [elim, t](benchmark::State& s) {
-            pmem::ModeGuard guard(pmem::Mode::shared_cache);
-            for (auto _ : s) {
-              DtStack::Config cfg;
-              cfg.elimination = elim;
-              DtStack stack(cfg);
-              for (int i = 0; i < 1024; ++i) {
-                stack.push(static_cast<std::uint64_t>(i));
-              }
-              const auto r =
-                  harness::run_threads(t, [&](int, harness::Rng& rng) {
-                    if (rng.below(2) == 0) {
-                      stack.push(rng.next());
-                    } else {
-                      benchmark::DoNotOptimize(stack.pop());
-                    }
-                  });
-              publish(s, r);
-              harness::print_row(elim ? "DT-Elimination" : "DT-Treiber",
-                                 "push/pop 50/50", t, r);
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-void register_skiplist() {
-  using repro::ds::DtSkipList;
-  for (auto mix : {harness::kReadIntensive, harness::kUpdateIntensive}) {
-    for (int t : thread_series()) {
-      const auto bm = std::string("skiplist/DT/") + mix.name +
-                      "/threads:" + std::to_string(t);
-      benchmark::RegisterBenchmark(
-          bm.c_str(),
-          [mix, t](benchmark::State& s) {
-            pmem::ModeGuard guard(pmem::Mode::shared_cache);
-            for (auto _ : s) {
-              DtSkipList sl;
-              harness::prefill(sl, 4096);
-              const harness::Workload w{4096, mix};
-              const auto r =
-                  harness::run_threads(t, [&](int, harness::Rng& rng) {
-                    const auto k = w.pick_key(rng);
-                    switch (w.pick_op(rng)) {
-                      case harness::OpType::insert:
-                        benchmark::DoNotOptimize(sl.insert(k));
-                        break;
-                      case harness::OpType::erase:
-                        benchmark::DoNotOptimize(sl.erase(k));
-                        break;
-                      case harness::OpType::find:
-                        benchmark::DoNotOptimize(sl.find(k));
-                        break;
-                    }
-                  });
-              publish(s, r);
-              harness::print_row("DT-SkipList",
-                                 std::string("range=4096 ") + mix.name, t,
-                                 r);
-            }
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-void register_exchanger() {
-  using repro::ds::IsbExchanger;
-  for (int t : thread_series()) {
-    if (t < 2) continue;  // exchanges need pairs
-    const auto bm = "exchanger/Isb/threads:" + std::to_string(t);
-    benchmark::RegisterBenchmark(
-        bm.c_str(),
-        [t](benchmark::State& s) {
-          pmem::ModeGuard guard(pmem::Mode::shared_cache);
-          for (auto _ : s) {
-            IsbExchanger ex;
-            const auto r =
-                harness::run_threads(t, [&](int, harness::Rng& rng) {
-                  benchmark::DoNotOptimize(ex.exchange(rng.next(), 256));
-                });
-            publish(s, r);
-            harness::print_row("Isb-Exchanger", "pairing attempts", t, r);
-          }
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  repro::harness::print_figure_header(
-      "Section 6 structures", "BST / exchanger / elimination stack");
-  repro::harness::print_columns();
-  register_bst();
-  register_skiplist();
-  register_stack();
-  register_exchanger();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  using namespace repro::harness;
+  ExperimentSpec bst;
+  bst.figure = "bst";
+  bst.what = "recoverable BST throughput";
+  bst.structures = {"trait:bst"};
+  bst.key_ranges = {4096};
+  bst.mixes = {kReadIntensive, kUpdateIntensive};
+
+  ExperimentSpec skiplist = bst;
+  skiplist.figure = "skiplist";
+  skiplist.what = "direct-tracking skiplist throughput";
+  skiplist.structures = {"DT-SkipList"};
+
+  ExperimentSpec stack;
+  stack.figure = "stack";
+  stack.what = "Treiber vs elimination stack, push/pop 50/50";
+  stack.structures = {"DT-Treiber", "DT-Elimination"};
+
+  ExperimentSpec exchanger;
+  exchanger.figure = "exchanger";
+  exchanger.what = "recoverable exchanger pairing attempts";
+  exchanger.structures = {"Isb-Exchanger"};
+
+  return repro::bench::experiment_main(argc, argv,
+                                       {bst, skiplist, stack, exchanger});
 }

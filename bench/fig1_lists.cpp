@@ -9,70 +9,25 @@
 // Series: Isb, Isb-Opt, Capsules, Capsules-Opt, DT-Opt (paper Section 5).
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace repro;
-using namespace repro::bench;
-
-void bm_point(benchmark::State& state, const SetAlgo* algo,
-              std::int64_t range, harness::Mix mix, int threads,
-              const char* fig) {
-  pmem::ModeGuard guard(pmem::Mode::shared_cache);
-  for (auto _ : state) {
-    const auto r = run_set_point(*algo, range, mix, threads);
-    publish(state, r);
-    harness::print_row(algo->name,
-                       std::string(fig) + " range=" + std::to_string(range) +
-                           " " + mix.name,
-                       threads, r);
-  }
-}
-
-const std::vector<SetAlgo>& algos() {
-  static const std::vector<SetAlgo> a = paper_list_algos();
-  return a;
-}
-
-void register_all() {
-  struct Sub {
+int main(int argc, char** argv) {
+  using namespace repro::harness;
+  const struct {
     const char* fig;
     std::int64_t range;
-    harness::Mix mix;
-  };
-  const Sub subs[] = {
-      {"fig1a", 500, harness::kReadIntensive},
-      {"fig1d", 500, harness::kUpdateIntensive},
-      {"fig1e", 1500, harness::kReadIntensive},
-      {"fig1f", 1500, harness::kUpdateIntensive},
-  };
+    Mix mix;
+  } subs[] = {{"fig1a", 500, kReadIntensive},
+              {"fig1d", 500, kUpdateIntensive},
+              {"fig1e", 1500, kReadIntensive},
+              {"fig1f", 1500, kUpdateIntensive}};
+  std::vector<ExperimentSpec> specs;
   for (const auto& sub : subs) {
-    for (const auto& algo : algos()) {
-      for (int t : thread_series()) {
-        const auto name = std::string(sub.fig) + "/" + algo.name + "/" +
-                          std::to_string(sub.range) + "/" + sub.mix.name +
-                          "/threads:" + std::to_string(t);
-        benchmark::RegisterBenchmark(
-            name.c_str(),
-            [&algo, sub, t](benchmark::State& s) {
-              bm_point(s, &algo, sub.range, sub.mix, t, sub.fig);
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
+    ExperimentSpec spec;
+    spec.figure = sub.fig;
+    spec.what = "list throughput, shared-cache model (clwb/clflush + fence)";
+    spec.structures = {"trait:paper-list"};
+    spec.key_ranges = {sub.range};
+    spec.mixes = {sub.mix};
+    specs.push_back(spec);
   }
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  repro::harness::print_figure_header(
-      "Figure 1a/1d/1e/1f",
-      "list throughput, shared-cache model (clwb/clflush + fence)");
-  repro::harness::print_columns();
-  register_all();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return repro::bench::experiment_main(argc, argv, std::move(specs));
 }

@@ -10,54 +10,14 @@
 // exactly in shape regardless of host hardware.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace repro;
-using namespace repro::bench;
-
-void bm_point(benchmark::State& state, const SetAlgo* algo,
-              std::int64_t range, harness::Mix mix, int threads) {
-  pmem::ModeGuard guard(pmem::Mode::count_only);
-  for (auto _ : state) {
-    const auto r = run_set_point(*algo, range, mix, threads);
-    publish(state, r);
-    harness::print_row(algo->name,
-                       "range=" + std::to_string(range) + " " + mix.name,
-                       threads, r);
-  }
-}
-
-void register_all() {
-  static const std::vector<SetAlgo> algos = paper_list_algos();
-  for (std::int64_t range : {500, 1500}) {
-    for (auto mix : {harness::kReadIntensive, harness::kUpdateIntensive}) {
-      for (const auto& algo : algos) {
-        for (int t : thread_series()) {
-          const auto name = "fig1bc/" + algo.name + "/" +
-                            std::to_string(range) + "/" + mix.name +
-                            "/threads:" + std::to_string(t);
-          benchmark::RegisterBenchmark(
-              name.c_str(),
-              [&algo, range, mix, t](benchmark::State& s) {
-                bm_point(s, &algo, range, mix, t);
-              })
-              ->Iterations(1)
-              ->Unit(benchmark::kMillisecond);
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  repro::harness::print_figure_header(
-      "Figure 1b/1c", "pbarriers and stand-alone flushes per operation");
-  repro::harness::print_columns();
-  register_all();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  using namespace repro::harness;
+  ExperimentSpec spec;
+  spec.figure = "fig1bc";
+  spec.what = "pbarriers and stand-alone flushes per operation";
+  spec.structures = {"trait:paper-list"};
+  spec.key_ranges = {500, 1500};
+  spec.mixes = {kReadIntensive, kUpdateIntensive};
+  spec.modes = {repro::pmem::Mode::count_only};
+  return repro::bench::experiment_main(argc, argv, {spec});
 }

@@ -3,50 +3,13 @@
 // shared-cache model.  Same series as Figure 1.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace repro;
-using namespace repro::bench;
-
-void register_all() {
-  static const std::vector<SetAlgo> algos = paper_list_algos();
-  for (std::int64_t range : {1000, 2000}) {
-    for (auto mix : {harness::kReadIntensive, harness::kUpdateIntensive}) {
-      for (const auto& algo : algos) {
-        for (int t : thread_series()) {
-          const auto name = "fig3/" + algo.name + "/" +
-                            std::to_string(range) + "/" + mix.name +
-                            "/threads:" + std::to_string(t);
-          benchmark::RegisterBenchmark(
-              name.c_str(),
-              [&algo, range, mix, t](benchmark::State& s) {
-                pmem::ModeGuard guard(pmem::Mode::shared_cache);
-                for (auto _ : s) {
-                  const auto r = run_set_point(algo, range, mix, t);
-                  publish(s, r);
-                  harness::print_row(
-                      algo.name,
-                      "range=" + std::to_string(range) + " " + mix.name, t,
-                      r);
-                }
-              })
-              ->Iterations(1)
-              ->Unit(benchmark::kMillisecond);
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  repro::harness::print_figure_header(
-      "Figure 3", "list throughput, key ranges [1,1000] and [1,2000]");
-  repro::harness::print_columns();
-  register_all();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  using namespace repro::harness;
+  ExperimentSpec spec;
+  spec.figure = "fig3";
+  spec.what = "list throughput, key ranges [1,1000] and [1,2000]";
+  spec.structures = {"trait:paper-list"};
+  spec.key_ranges = {1000, 2000};
+  spec.mixes = {kReadIntensive, kUpdateIntensive};
+  return repro::bench::experiment_main(argc, argv, {spec});
 }

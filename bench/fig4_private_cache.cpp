@@ -4,57 +4,14 @@
 // list ("Harris-LL"), which is also included as in the paper's Figure 4.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace repro;
-using namespace repro::bench;
-
-std::vector<SetAlgo> fig4_algos() {
-  auto v = paper_list_algos();
-  v.push_back(dt_general_algo());
-  v.push_back(harris_algo());
-  return v;
-}
-
-void register_all() {
-  static const std::vector<SetAlgo> algos = fig4_algos();
-  for (std::int64_t range : {500, 1500}) {
-    for (auto mix : {harness::kReadIntensive, harness::kUpdateIntensive}) {
-      for (const auto& algo : algos) {
-        for (int t : thread_series()) {
-          const auto name = "fig4/" + algo.name + "/" +
-                            std::to_string(range) + "/" + mix.name +
-                            "/threads:" + std::to_string(t);
-          benchmark::RegisterBenchmark(
-              name.c_str(),
-              [&algo, range, mix, t](benchmark::State& s) {
-                pmem::ModeGuard guard(pmem::Mode::private_cache);
-                for (auto _ : s) {
-                  const auto r = run_set_point(algo, range, mix, t);
-                  publish(s, r);
-                  harness::print_row(
-                      algo.name,
-                      "range=" + std::to_string(range) + " " + mix.name, t,
-                      r);
-                }
-              })
-              ->Iterations(1)
-              ->Unit(benchmark::kMillisecond);
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  repro::harness::print_figure_header(
-      "Figure 4", "list throughput, private-cache model (no flush cost)");
-  repro::harness::print_columns();
-  register_all();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  using namespace repro::harness;
+  ExperimentSpec spec;
+  spec.figure = "fig4";
+  spec.what = "list throughput, private-cache model (no flush cost)";
+  spec.structures = {"trait:paper-list", "DT", "Harris-LL"};
+  spec.key_ranges = {500, 1500};
+  spec.mixes = {kReadIntensive, kUpdateIntensive};
+  spec.modes = {repro::pmem::Mode::private_cache};
+  return repro::bench::experiment_main(argc, argv, {spec});
 }

@@ -4,58 +4,22 @@
 // count_only mode: deterministic, hardware-independent.
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace repro;
-using namespace repro::bench;
-
-void register_all() {
-  static const std::vector<SetAlgo> algos = paper_list_algos();
-  struct Sub {
-    const char* fig;
-    harness::Mix mix;
-  };
-  const Sub subs[] = {{"fig5", harness::kReadIntensive},
-                      {"fig6", harness::kUpdateIntensive}};
-  for (const auto& sub : subs) {
-    for (std::int64_t range : {1000, 1500, 2000}) {
-      for (const auto& algo : algos) {
-        for (int t : thread_series()) {
-          const auto name = std::string(sub.fig) + "/" + algo.name + "/" +
-                            std::to_string(range) +
-                            "/threads:" + std::to_string(t);
-          benchmark::RegisterBenchmark(
-              name.c_str(),
-              [&algo, sub, range, t](benchmark::State& s) {
-                pmem::ModeGuard guard(pmem::Mode::count_only);
-                for (auto _ : s) {
-                  const auto r = run_set_point(algo, range, sub.mix, t);
-                  publish(s, r);
-                  harness::print_row(
-                      algo.name,
-                      std::string(sub.fig) + " range=" +
-                          std::to_string(range) + " " + sub.mix.name,
-                      t, r);
-                }
-              })
-              ->Iterations(1)
-              ->Unit(benchmark::kMillisecond);
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  repro::harness::print_figure_header(
-      "Figures 5/6",
-      "persistence instructions per op, ranges 1000/1500/2000");
-  repro::harness::print_columns();
-  register_all();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  using namespace repro::harness;
+  const struct {
+    const char* fig;
+    Mix mix;
+  } subs[] = {{"fig5", kReadIntensive}, {"fig6", kUpdateIntensive}};
+  std::vector<ExperimentSpec> specs;
+  for (const auto& sub : subs) {
+    ExperimentSpec spec;
+    spec.figure = sub.fig;
+    spec.what = "persistence instructions per op, ranges 1000/1500/2000";
+    spec.structures = {"trait:paper-list"};
+    spec.key_ranges = {1000, 1500, 2000};
+    spec.mixes = {sub.mix};
+    spec.modes = {repro::pmem::Mode::count_only};
+    specs.push_back(spec);
+  }
+  return repro::bench::experiment_main(argc, argv, std::move(specs));
 }

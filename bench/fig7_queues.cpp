@@ -6,71 +6,20 @@
 //
 // The paper prefills with one million nodes; REPRO_QUEUE_PREFILL (default
 // 100000) scales that to the container-sized host.
-#include <cstdlib>
-
 #include "bench_common.hpp"
 
-namespace {
-
-using namespace repro;
-using namespace repro::bench;
-
-std::size_t queue_prefill() {
-  const char* v = std::getenv("REPRO_QUEUE_PREFILL");
-  if (v != nullptr && std::atoll(v) > 0) {
-    return static_cast<std::size_t>(std::atoll(v));
-  }
-  return 100'000;
-}
-
-void register_all() {
-  static std::vector<QueueAlgo> shared_algos = paper_queue_algos();
-  static std::vector<QueueAlgo> private_algos = [] {
-    auto v = paper_queue_algos();
-    v.push_back(ms_queue_algo());
-    return v;
-  }();
-  struct Sub {
-    const char* fig;
-    pmem::Mode mode;
-    const std::vector<QueueAlgo>* algos;
-  };
-  const Sub subs[] = {
-      {"fig7-left(shared)", pmem::Mode::shared_cache, &shared_algos},
-      {"fig7-mid+right(private)", pmem::Mode::private_cache,
-       &private_algos},
-  };
-  for (const auto& sub : subs) {
-    for (const auto& algo : *sub.algos) {
-      for (int t : thread_series()) {
-        const auto name = std::string(sub.fig) + "/" + algo.name +
-                          "/threads:" + std::to_string(t);
-        benchmark::RegisterBenchmark(
-            name.c_str(),
-            [&algo, sub, t](benchmark::State& s) {
-              pmem::ModeGuard guard(sub.mode);
-              for (auto _ : s) {
-                const auto r = run_queue_point(algo, queue_prefill(), t);
-                publish(s, r);
-                harness::print_row(algo.name, sub.fig, t, r);
-              }
-            })
-            ->Iterations(1)
-            ->Unit(benchmark::kMillisecond);
-      }
-    }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  repro::harness::print_figure_header(
-      "Figure 7", "queue throughput, shared and private cache models");
-  repro::harness::print_columns();
-  register_all();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  using namespace repro::harness;
+  ExperimentSpec left;
+  left.figure = "fig7-left(shared)";
+  left.what = "queue throughput, shared-cache model";
+  left.structures = {"trait:paper-queue"};
+
+  ExperimentSpec right;
+  right.figure = "fig7-mid+right(private)";
+  right.what = "queue throughput, private-cache model (incl. MS-Queue)";
+  right.structures = {"trait:paper-queue", "MS-Queue"};
+  right.modes = {repro::pmem::Mode::private_cache};
+
+  return repro::bench::experiment_main(argc, argv, {left, right});
 }

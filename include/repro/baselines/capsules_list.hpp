@@ -4,6 +4,7 @@
 // Variant::optimized only at helping points and CASes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "repro/ds/harris_core.hpp"

@@ -5,6 +5,7 @@
 // concurrency instead of staying constant.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "repro/ds/harris_core.hpp"

@@ -6,6 +6,7 @@
 // without any persistence instructions.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "repro/ds/harris_core.hpp"

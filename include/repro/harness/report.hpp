@@ -1,6 +1,7 @@
 // Paper-style table output: one aligned row per data point, mirroring
 // the quantities plotted in the figures so a run's stdout can be
-// eyeballed against the paper directly.
+// eyeballed against the paper directly.  These primitives back the
+// TableSink in sinks.hpp; benches talk to sinks, not to this layer.
 #pragma once
 
 #include <cstdio>
@@ -22,10 +23,11 @@ inline void print_columns() {
   std::fflush(stdout);
 }
 
+// The thread count comes from the (self-contained) RunResult.
 inline void print_row(const std::string& algo, const std::string& scenario,
-                      int threads, const RunResult& r) {
+                      const RunResult& r) {
   std::printf("%-18s %-40s %8d %14.0f %13.2f %13.2f %11.2f\n",
-              algo.c_str(), scenario.c_str(), threads, r.ops_per_sec,
+              algo.c_str(), scenario.c_str(), r.threads, r.ops_per_sec,
               r.flushes_per_op, r.barriers_per_op, r.psyncs_per_op);
   std::fflush(stdout);
 }

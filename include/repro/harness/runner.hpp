@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <thread>
@@ -17,6 +18,10 @@
 
 namespace repro::harness {
 
+// One data point's measurements.  `threads` and `point_index` make the
+// result self-contained for sinks: a row can be emitted without the
+// caller re-threading grid context.  point_index is assigned by the
+// experiment driver, monotonic across every point a process runs.
 struct RunResult {
   std::uint64_t total_ops = 0;
   double seconds = 0;
@@ -24,6 +29,8 @@ struct RunResult {
   double barriers_per_op = 0;  // pfences ("pbarriers")
   double flushes_per_op = 0;   // pwbs
   double psyncs_per_op = 0;
+  int threads = 0;
+  std::uint64_t point_index = 0;
 };
 
 namespace detail {
@@ -32,6 +39,15 @@ inline int env_int(const char* name, int fallback) {
   if (v != nullptr) {
     const long parsed = std::atol(v);
     if (parsed > 0) return static_cast<int>(parsed);
+  }
+  return fallback;
+}
+
+// Like env_int, but 0 is a meaningful value (e.g. an empty prefill).
+inline int env_int_nonneg(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v != nullptr && *v >= '0' && *v <= '9') {
+    return static_cast<int>(std::atol(v));
   }
   return fallback;
 }
@@ -47,10 +63,18 @@ inline int max_threads() {
   return detail::env_int("REPRO_MAX_THREADS", hw > 0 ? hw : 1);
 }
 
-// Inserts ~`percent`% of [1, key_range] (the paper prefills each run to
-// a steady-state size so insert/erase success rates balance).
+// Prefill density in percent of the key range (REPRO_PREFILL_PCT; the
+// paper prefills to ~40% so insert/erase success rates balance; 0 is a
+// valid empty-start density).
+inline int prefill_pct() {
+  return detail::env_int_nonneg("REPRO_PREFILL_PCT", 40);
+}
+
+// Inserts ~`percent`% of [1, key_range]; percent < 0 means "use the
+// REPRO_PREFILL_PCT / 40% default".
 template <typename Set>
-void prefill(Set& set, std::int64_t key_range, int percent = 40) {
+void prefill(Set& set, std::int64_t key_range, int percent = -1) {
+  if (percent < 0) percent = prefill_pct();
   Rng rng(0xC0FFEEull);
   for (std::int64_t k = 1; k <= key_range; ++k) {
     if (rng.below(100) < static_cast<std::uint64_t>(percent)) {
@@ -59,9 +83,10 @@ void prefill(Set& set, std::int64_t key_range, int percent = 40) {
   }
 }
 
-// Runs `body(tid, rng)` in a loop on `threads` threads for bench_ms().
+// Runs `body(tid, rng)` in a loop on `threads` threads for `run_ms`
+// milliseconds (0 → bench_ms()).
 template <typename Body>
-RunResult run_threads(int threads, Body&& body) {
+RunResult run_threads(int threads, Body&& body, int run_ms = 0) {
   struct alignas(64) Slot {
     std::uint64_t ops = 0;
     pmem::Counters counters;
@@ -92,12 +117,14 @@ RunResult run_threads(int threads, Body&& body) {
 
   const auto t0 = std::chrono::steady_clock::now();
   start.store(true, std::memory_order_release);
-  std::this_thread::sleep_for(std::chrono::milliseconds(bench_ms()));
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(run_ms > 0 ? run_ms : bench_ms()));
   stop.store(true, std::memory_order_release);
   const auto t1 = std::chrono::steady_clock::now();
   for (auto& w : workers) w.join();
 
   RunResult r;
+  r.threads = threads;
   pmem::Counters total;
   for (const auto& s : slots) {
     r.total_ops += s.ops;

@@ -1,0 +1,222 @@
+// Structured result output: every grid point the experiment driver runs
+// is emitted as a ResultRow through pluggable ResultSinks — the aligned
+// stdout table the figures have always printed, plus machine-readable
+// CSV and JSON-lines writers so a run can be diffed against the paper
+// (or a previous run) mechanically.  REPRO_OUT=<path> adds a file sink:
+// *.csv selects CSV, anything else JSON lines.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "repro/harness/report.hpp"
+#include "repro/harness/runner.hpp"
+
+namespace repro::harness {
+
+// One grid point's identity plus its measurements — everything a sink
+// needs to emit a self-contained row (RunResult carries threads and the
+// monotonic point_index).
+struct ResultRow {
+  std::string figure;
+  std::string algo;
+  std::string scenario;  // human-readable point description
+  std::string mode;      // pmem execution mode name
+  std::string dist;      // key distribution name ("" when n/a)
+  std::int64_t key_range = 0;  // 0 when n/a
+  std::string mix;             // "" when n/a
+  RunResult run;
+  double recovery_us = -1;  // crash scenario only; < 0 → n/a
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void begin(const std::string& /*figure*/,
+                     const std::string& /*what*/) {}
+  virtual void row(const ResultRow& r) = 0;
+};
+
+// The paper-style stdout table (report.hpp), unchanged in appearance.
+class TableSink final : public ResultSink {
+ public:
+  void begin(const std::string& figure, const std::string& what) override {
+    print_figure_header(figure, what);
+    print_columns();
+  }
+
+  void row(const ResultRow& r) override {
+    std::string scenario = r.scenario;
+    if (r.recovery_us >= 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " recover=%.1fus", r.recovery_us);
+      scenario += buf;
+    }
+    print_row(r.algo, scenario, r.run);
+  }
+};
+
+namespace detail {
+inline std::atomic<int>& sink_error_cell() {
+  static std::atomic<int> c{0};
+  return c;
+}
+}  // namespace detail
+
+// File-sink failures (e.g. an unopenable REPRO_OUT path) observed so
+// far; experiment_main turns a non-zero count into a failing exit code
+// so a run whose machine-readable output was silently discarded cannot
+// report green.
+inline int sink_errors() {
+  return detail::sink_error_cell().load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Shortest round-trip-ish formatting shared by the CSV and JSON sinks
+// so golden files stay stable.
+inline std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace detail
+
+// Owns its file stream when constructed from a path; borrows the
+// ostream otherwise (tests write into a stringstream).
+class StreamSinkBase : public ResultSink {
+ public:
+  explicit StreamSinkBase(std::ostream& out) : out_(&out) {}
+  explicit StreamSinkBase(const std::string& path)
+      : file_(std::make_unique<std::ofstream>(path,
+                                              std::ios::out |
+                                                  std::ios::trunc)),
+        out_(file_.get()) {
+    if (!*file_) {
+      std::fprintf(stderr, "repro: cannot open REPRO_OUT file %s\n",
+                   path.c_str());
+      detail::sink_error_cell().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ protected:
+  std::ostream& out() { return *out_; }
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_;
+};
+
+class CsvSink final : public StreamSinkBase {
+ public:
+  using StreamSinkBase::StreamSinkBase;
+
+  void row(const ResultRow& r) override {
+    using detail::fmt_double;
+    if (!header_written_) {
+      out() << "point_index,figure,algo,mode,dist,key_range,mix,threads,"
+               "seconds,total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,"
+               "psync_per_op,recovery_us\n";
+      header_written_ = true;
+    }
+    out() << r.run.point_index << ',' << r.figure << ',' << r.algo << ','
+          << r.mode << ',' << r.dist << ',' << r.key_range << ',' << r.mix
+          << ',' << r.run.threads << ',' << fmt_double(r.run.seconds)
+          << ',' << r.run.total_ops << ','
+          << fmt_double(r.run.ops_per_sec) << ','
+          << fmt_double(r.run.flushes_per_op) << ','
+          << fmt_double(r.run.barriers_per_op) << ','
+          << fmt_double(r.run.psyncs_per_op) << ','
+          << (r.recovery_us >= 0 ? fmt_double(r.recovery_us) : "") << '\n';
+    out().flush();
+  }
+
+ private:
+  bool header_written_ = false;
+};
+
+// One JSON object per line (JSON lines / ndjson): the format the
+// BENCH_*.json perf trajectories consume.
+class JsonlSink final : public StreamSinkBase {
+ public:
+  using StreamSinkBase::StreamSinkBase;
+
+  void row(const ResultRow& r) override {
+    using detail::fmt_double;
+    using detail::json_escape;
+    out() << "{\"point_index\":" << r.run.point_index << ",\"figure\":\""
+          << json_escape(r.figure) << "\",\"algo\":\""
+          << json_escape(r.algo) << "\",\"mode\":\""
+          << json_escape(r.mode) << "\",\"dist\":\""
+          << json_escape(r.dist) << "\",\"key_range\":" << r.key_range
+          << ",\"mix\":\"" << json_escape(r.mix)
+          << "\",\"threads\":" << r.run.threads
+          << ",\"seconds\":" << fmt_double(r.run.seconds)
+          << ",\"total_ops\":" << r.run.total_ops
+          << ",\"ops_per_sec\":" << fmt_double(r.run.ops_per_sec)
+          << ",\"pwb_per_op\":" << fmt_double(r.run.flushes_per_op)
+          << ",\"pbarrier_per_op\":" << fmt_double(r.run.barriers_per_op)
+          << ",\"psync_per_op\":" << fmt_double(r.run.psyncs_per_op);
+    if (r.recovery_us >= 0) {
+      out() << ",\"recovery_us\":" << fmt_double(r.recovery_us);
+    }
+    out() << "}\n";
+    out().flush();
+  }
+};
+
+// Fan-out over the configured sinks.
+class SinkSet {
+ public:
+  void add(std::unique_ptr<ResultSink> s) {
+    sinks_.push_back(std::move(s));
+  }
+  void begin(const std::string& figure, const std::string& what) {
+    for (auto& s : sinks_) s->begin(figure, what);
+  }
+  void row(const ResultRow& r) {
+    for (auto& s : sinks_) s->row(r);
+  }
+  std::size_t size() const { return sinks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ResultSink>> sinks_;
+};
+
+// stdout table always; REPRO_OUT adds a CSV (*.csv) or JSON-lines sink.
+inline SinkSet default_sinks() {
+  SinkSet sinks;
+  sinks.add(std::make_unique<TableSink>());
+  if (const char* path = std::getenv("REPRO_OUT");
+      path != nullptr && path[0] != '\0') {
+    const std::string p(path);
+    if (p.size() >= 4 && p.compare(p.size() - 4, 4, ".csv") == 0) {
+      sinks.add(std::make_unique<CsvSink>(p));
+    } else {
+      sinks.add(std::make_unique<JsonlSink>(p));
+    }
+  }
+  return sinks;
+}
+
+}  // namespace repro::harness

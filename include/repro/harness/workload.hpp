@@ -1,8 +1,10 @@
-// Workload description for the figure benches: the paper's operation
+// Workload description for the experiment engine: the paper's operation
 // mixes (read-intensive 15/15/70, update-intensive 35/35/30), uniform
-// key selection over [1, key_range], and the per-thread RNG.
+// and Zipfian key selection over [1, key_range], and the per-thread RNG.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 
 namespace repro::harness {
@@ -19,6 +21,13 @@ inline constexpr Mix kReadIntensive{"read-intensive", 15, 15, 70};
 inline constexpr Mix kUpdateIntensive{"update-intensive", 35, 35, 30};
 
 enum class OpType { insert, erase, find };
+
+// How keys are drawn from [1, key_range].
+enum class KeyDist { uniform, zipfian };
+
+inline const char* key_dist_name(KeyDist d) {
+  return d == KeyDist::zipfian ? "zipfian" : "uniform";
+}
 
 // xorshift64*: fast, decent-quality, one word of state per thread.
 class Rng {
@@ -37,15 +46,90 @@ class Rng {
 
   std::uint64_t below(std::uint64_t n) { return next() % n; }
 
+  // Uniform double in [0, 1) from the top 53 bits.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
  private:
   std::uint64_t state_;
+};
+
+// Zipf(theta)-distributed ranks over [1, n], skewed toward low ranks —
+// the skewed-key scenario axis.  Uses the Gray et al. closed-form
+// approximation ("Quickly generating billion-record synthetic
+// databases", SIGMOD '94): construction is O(n) to sum the zeta series,
+// draws are O(1) and share the per-thread Rng, so the generator itself
+// is immutable and safe to use from every worker concurrently.
+class Zipfian {
+ public:
+  Zipfian() = default;
+
+  // The Gray et al. form requires theta in (0, 1); out-of-range values
+  // (notably the classic Zipf s=1, where alpha would divide by zero)
+  // are clamped to the nearest supported skew.
+  explicit Zipfian(std::uint64_t n, double theta = 0.99)
+      : n_(n),
+        theta_(theta < 0.001 ? 0.001 : theta > 0.999 ? 0.999 : theta) {
+    theta = theta_;
+    double zetan = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zetan_ = zetan;
+    zeta2_ = 1.0 + std::pow(0.5, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  std::uint64_t next(Rng& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 1;
+    if (uz < zeta2_) return 2;
+    const auto rank =
+        1 + static_cast<std::uint64_t>(
+                static_cast<double>(n_) *
+                std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank > n_ ? n_ : rank;  // guard fp rounding at the tail
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double theta_ = 0;
+  double zetan_ = 1;
+  double zeta2_ = 1;
+  double alpha_ = 1;
+  double eta_ = 0;
 };
 
 struct Workload {
   std::int64_t key_range;
   Mix mix;
+  KeyDist dist;
+  Zipfian zipf;  // configured iff dist == zipfian
+
+  // The constructor (not aggregate init) guarantees the Zipfian
+  // constants are precomputed whenever the distribution asks for skew —
+  // `Workload{range, mix, KeyDist::zipfian}` cannot leave zipf
+  // unconfigured.
+  Workload(std::int64_t key_range, Mix mix,
+           KeyDist dist = KeyDist::uniform, double theta = 0.99)
+      : key_range(key_range),
+        mix(mix),
+        dist(dist),
+        zipf(dist == KeyDist::zipfian
+                 ? Zipfian(static_cast<std::uint64_t>(key_range), theta)
+                 : Zipfian()) {}
 
   std::int64_t pick_key(Rng& rng) const {
+    if (dist == KeyDist::zipfian) {
+      return static_cast<std::int64_t>(zipf.next(rng));
+    }
     return 1 +
            static_cast<std::int64_t>(
                rng.below(static_cast<std::uint64_t>(key_range)));

@@ -1,0 +1,374 @@
+// The experiment-engine API: registry lookup and trait filtering, grid
+// expansion of known specs, golden CSV / JSON-lines sink output, the
+// Zipfian picker's skew, and the crash-recovery scenario's
+// detectability guarantee (every interrupted operation is reported by
+// recover() as either completed-with-response or not-applied).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repro/harness/experiment.hpp"
+#include "repro/harness/registry.hpp"
+#include "repro/harness/sinks.hpp"
+#include "repro/harness/workload.hpp"
+#include "repro/pmem/persist.hpp"
+
+namespace {
+
+using namespace repro::harness;
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(Registry, FindsPaperNames) {
+  const Registry& reg = Registry::instance();
+  const AlgoEntry* isb = reg.find("Isb");
+  ASSERT_NE(isb, nullptr);
+  EXPECT_EQ(isb->kind, Kind::set);
+  EXPECT_TRUE(isb->has_trait("detectable"));
+  EXPECT_TRUE(isb->has_trait("paper-list"));
+  EXPECT_TRUE(isb->has_trait("set"));  // the kind name counts as a trait
+
+  const AlgoEntry* q = reg.find("Isb-Queue");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->kind, Kind::queue);
+
+  EXPECT_EQ(reg.find("No-Such-Algo"), nullptr);
+}
+
+TEST(Registry, TraitSelectionMatchesPaperSeries) {
+  const Registry& reg = Registry::instance();
+  const auto lists = reg.select("trait:paper-list");
+  ASSERT_EQ(lists.size(), 5u);  // Isb, Isb-Opt, Capsules, Capsules-Opt, DT-Opt
+  for (const AlgoEntry* e : lists) EXPECT_EQ(e->kind, Kind::set);
+
+  const auto queues = reg.select("trait:paper-queue");
+  EXPECT_EQ(queues.size(), 4u);
+
+  EXPECT_TRUE(reg.select("trait:no-such-trait").empty());
+}
+
+TEST(Registry, GlobSelection) {
+  const Registry& reg = Registry::instance();
+  const auto isbs = reg.select("Isb*");
+  // Isb, Isb-Opt, Isb-noROopt, Isb-Opt-noROopt, Isb-Queue, Isb-Exchanger
+  EXPECT_EQ(isbs.size(), 6u);
+  // Isb-Queue, Log-Queue, MS-Queue
+  EXPECT_EQ(reg.select("*-Queue").size(), 3u);
+  EXPECT_TRUE(glob_match("*Queue", "MS-Queue"));
+  EXPECT_FALSE(glob_match("*Queue", "MS-Queued"));
+}
+
+TEST(Registry, SelectAllDeduplicatesPreservingOrder) {
+  const Registry& reg = Registry::instance();
+  const auto sel = reg.select_all({"Isb", "trait:paper-list"});
+  ASSERT_EQ(sel.size(), 5u);
+  EXPECT_EQ(sel[0]->name, "Isb");
+}
+
+TEST(Registry, DuplicateRegistrationIsIgnored) {
+  Registry& reg = Registry::instance();
+  const auto before = reg.entries().size();
+  EXPECT_FALSE(reg.add({"Isb", Kind::set, {}, nullptr}));
+  EXPECT_EQ(reg.entries().size(), before);
+}
+
+TEST(Registry, FactoriesProduceWorkingStructures) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  auto s = Registry::instance().find("Isb")->make();
+  auto* set = dynamic_cast<SetIface*>(s.get());
+  ASSERT_NE(set, nullptr);
+  EXPECT_TRUE(set->detectable());
+  EXPECT_TRUE(set->insert(5));
+  EXPECT_TRUE(set->find(5));
+
+  auto v = Registry::instance().find("Harris-LL")->make();
+  EXPECT_FALSE(v->detectable());
+}
+
+// ---------------------------------------------------------------------
+// Grid expansion
+// ---------------------------------------------------------------------
+
+TEST(Expand, SetGridIsStructuresTimesRangesTimesMixesTimesThreads) {
+  ExperimentSpec spec;
+  spec.structures = {"trait:paper-list"};
+  spec.key_ranges = {500, 1500};
+  spec.mixes = {kReadIntensive, kUpdateIntensive};
+  spec.threads = {1, 2};
+  EXPECT_EQ(expand(spec).size(), 5u * 2u * 2u * 2u);
+}
+
+TEST(Expand, NonSetKindsIgnoreRangeAndMixAxes) {
+  ExperimentSpec spec;
+  spec.structures = {"trait:paper-queue", "MS-Queue"};
+  spec.key_ranges = {500, 1500};  // must not multiply queue points
+  spec.threads = {1};
+  const auto points = expand(spec);
+  EXPECT_EQ(points.size(), 5u);
+  for (const auto& p : points) EXPECT_FALSE(p.has_mix);
+}
+
+TEST(Expand, ExchangerNeedsPairs) {
+  ExperimentSpec spec;
+  spec.structures = {"Isb-Exchanger"};
+  spec.threads = {1, 2, 4};
+  EXPECT_EQ(expand(spec).size(), 2u);  // threads:1 dropped
+}
+
+TEST(Expand, CrashScheduleKeepsOnlyDetectableSetsAndQueues) {
+  ExperimentSpec spec;
+  spec.structures = {"trait:paper-list", "trait:paper-queue",
+                     "DT-Treiber"};
+  spec.threads = {2};
+  spec.crash_after_ms = 10;
+  const auto points = expand(spec);
+  // paper-list: Isb, Isb-Opt, DT-Opt (Capsules* lack recover());
+  // paper-queue: Isb-Queue only; the stack kind is not modelled.
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.algo->has_trait("detectable"));
+  }
+}
+
+TEST(Expand, UnmatchedSelectorCountsAsSpecError) {
+  ExperimentSpec spec;
+  spec.figure = "typo-test";
+  spec.structures = {"Isb", "No-Such-Algo"};
+  spec.threads = {1};
+  const int before = spec_errors();
+  const auto points = expand(spec);
+  EXPECT_EQ(points.size(), 1u);  // the valid selector still runs
+  EXPECT_EQ(spec_errors(), before + 1);
+}
+
+TEST(Expand, SelectedStructuresAppliesTheCrashFilter) {
+  ExperimentSpec spec;
+  spec.structures = {"trait:paper-list"};
+  spec.crash_after_ms = 10;
+  const auto algos = selected_structures(spec);
+  ASSERT_EQ(algos.size(), 3u);  // Capsules* lack recover()
+  spec.crash_after_ms = 0;
+  EXPECT_EQ(selected_structures(spec).size(), 5u);
+}
+
+TEST(Expand, PointNamesFollowTheFilterShape) {
+  ExperimentSpec spec;
+  spec.figure = "figX";
+  spec.structures = {"Isb", "Isb-Queue"};
+  spec.key_ranges = {500};
+  spec.mixes = {kReadIntensive};
+  spec.threads = {2};
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(point_name(spec, points[0]),
+            "figX/Isb/500/read-intensive/threads:2");
+  EXPECT_EQ(point_name(spec, points[1]), "figX/Isb-Queue/threads:2");
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+ResultRow golden_row() {
+  ResultRow row;
+  row.figure = "figX";
+  row.algo = "Algo";
+  row.scenario = "range=500 read-intensive";
+  row.mode = "count_only";
+  row.dist = "uniform";
+  row.key_range = 500;
+  row.mix = "read-intensive";
+  row.run.total_ops = 1000;
+  row.run.seconds = 0.5;
+  row.run.ops_per_sec = 2000;
+  row.run.flushes_per_op = 2.25;
+  row.run.barriers_per_op = 1.5;
+  row.run.psyncs_per_op = 1;
+  row.run.threads = 2;
+  row.run.point_index = 7;
+  return row;
+}
+
+TEST(Sinks, CsvGolden) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  sink.row(golden_row());
+  EXPECT_EQ(
+      os.str(),
+      "point_index,figure,algo,mode,dist,key_range,mix,threads,seconds,"
+      "total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,psync_per_op,"
+      "recovery_us\n"
+      "7,figX,Algo,count_only,uniform,500,read-intensive,2,0.5,1000,2000,"
+      "2.25,1.5,1,\n");
+}
+
+TEST(Sinks, JsonlGolden) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.row(golden_row());
+  EXPECT_EQ(
+      os.str(),
+      "{\"point_index\":7,\"figure\":\"figX\",\"algo\":\"Algo\","
+      "\"mode\":\"count_only\",\"dist\":\"uniform\",\"key_range\":500,"
+      "\"mix\":\"read-intensive\",\"threads\":2,\"seconds\":0.5,"
+      "\"total_ops\":1000,\"ops_per_sec\":2000,\"pwb_per_op\":2.25,"
+      "\"pbarrier_per_op\":1.5,\"psync_per_op\":1}\n");
+}
+
+TEST(Sinks, JsonlIncludesRecoveryLatencyWhenSet) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  ResultRow row = golden_row();
+  row.recovery_us = 12.5;
+  sink.row(row);
+  EXPECT_NE(os.str().find("\"recovery_us\":12.5}"), std::string::npos);
+}
+
+TEST(Sinks, RunSpecStreamsOneRowPerPoint) {
+  setenv("REPRO_BENCH_MS", "5", 1);
+  std::ostringstream os;
+  SinkSet sinks;
+  sinks.add(std::make_unique<JsonlSink>(os));
+  ExperimentSpec spec;
+  spec.figure = "unit";
+  spec.structures = {"Harris-LL"};
+  spec.key_ranges = {64};
+  spec.mixes = {kReadIntensive};
+  spec.threads = {1, 2};
+  run_spec(spec, sinks);
+  unsetenv("REPRO_BENCH_MS");
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(out.find("\"algo\":\"Harris-LL\""), std::string::npos);
+  EXPECT_NE(out.find("\"threads\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"figure\":\"unit\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Zipfian key distribution
+// ---------------------------------------------------------------------
+
+TEST(Zipfian, SkewsTowardLowKeys) {
+  const Zipfian z(1000, 0.99);
+  Rng rng(123);
+  constexpr int kDraws = 200000;
+  int low_decile = 0;
+  int first = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = z.next(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    low_decile += v <= 100;
+    first += v == 1;
+  }
+  // Under uniform keys the low decile would get ~10% and key 1 ~0.1%;
+  // Zipf(0.99) concentrates ~69% and ~13% there analytically.
+  EXPECT_GT(low_decile, kDraws * 55 / 100);
+  EXPECT_GT(first, kDraws * 8 / 100);
+}
+
+TEST(Zipfian, OutOfRangeThetaIsClamped) {
+  // theta = 1 would divide by zero in the Gray et al. form; it is
+  // clamped to the strongest supported skew instead.
+  const Zipfian z(1000, 1.0);
+  EXPECT_DOUBLE_EQ(z.theta(), 0.999);
+  Rng rng(99);
+  int low_decile = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = z.next(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    low_decile += v <= 100;
+  }
+  EXPECT_GT(low_decile, 20000 * 55 / 100);
+  EXPECT_DOUBLE_EQ(Zipfian(1000, -2.0).theta(), 0.001);
+}
+
+TEST(Zipfian, WorkloadConstructorWiresTheDistribution) {
+  const Workload w(1000, kReadIntensive, KeyDist::zipfian);
+  Rng rng(7);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = w.pick_key(rng);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, 1000);
+    low += k <= 100;
+  }
+  EXPECT_GT(low, 10000 * 55 / 100);
+
+  // Aggregate initialisation stays uniform.
+  const Workload u{1000, kReadIntensive};
+  EXPECT_EQ(u.dist, KeyDist::uniform);
+}
+
+// ---------------------------------------------------------------------
+// Crash-recovery scenario
+// ---------------------------------------------------------------------
+
+TEST(Crash, EveryInterruptedListOpIsDetected) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  ExperimentSpec spec;
+  spec.figure = "crash-unit";
+  spec.structures = {"Isb"};
+  spec.key_ranges = {128};
+  spec.mixes = {kUpdateIntensive};
+  spec.threads = {4};
+  spec.crash_after_ms = 30;
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 1u);
+  const CrashReport rep = run_crash_point(spec, points[0]);
+  EXPECT_GT(rep.run.total_ops, 0u);
+  // Detectability: every thread's last operation recovered
+  // completed-with-response, every in-flight one reported not-applied.
+  // (A worker that was never scheduled inside the crash window — e.g.
+  // under TSan on a starved CI host — has nothing to recover, so the
+  // bound is >= 1 rather than == threads.)
+  EXPECT_EQ(rep.mismatches, 0);
+  EXPECT_GE(rep.completed, 1);
+  EXPECT_EQ(rep.not_applied, rep.completed);
+  EXPECT_GE(rep.recovery_us, 0.0);
+}
+
+TEST(Crash, EveryInterruptedQueueOpIsDetected) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  ExperimentSpec spec;
+  spec.figure = "crash-unit-q";
+  spec.structures = {"Isb-Queue"};
+  spec.threads = {4};
+  spec.queue_prefill = 256;
+  spec.crash_after_ms = 30;
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 1u);
+  const CrashReport rep = run_crash_point(spec, points[0]);
+  EXPECT_GT(rep.run.total_ops, 0u);
+  EXPECT_EQ(rep.mismatches, 0);
+  EXPECT_GE(rep.completed, 1);
+  EXPECT_EQ(rep.not_applied, rep.completed);
+}
+
+TEST(Crash, RunPointEmitsRecoveryLatency) {
+  ExperimentSpec spec;
+  spec.figure = "crash-unit-row";
+  spec.structures = {"Isb"};
+  spec.key_ranges = {64};
+  spec.mixes = {kUpdateIntensive};
+  spec.threads = {2};
+  spec.modes = {repro::pmem::Mode::count_only};
+  spec.crash_after_ms = 10;
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 1u);
+  const int failures_before = crash_failures();
+  const ResultRow row = run_point(spec, points[0]);
+  EXPECT_GE(row.recovery_us, 0.0);
+  EXPECT_EQ(crash_failures(), failures_before);  // no violations
+}
+
+}  // namespace

@@ -47,11 +47,13 @@ TEST(Workload, MixMatchesConfiguredPercentages) {
   }
 }
 
+struct RecordingSet {
+  std::set<std::int64_t> keys;
+  bool insert(std::int64_t k) { return keys.insert(k).second; }
+};
+
 TEST(Harness, PrefillInsertsRoughlyFortyPercent) {
-  struct RecordingSet {
-    std::set<std::int64_t> keys;
-    bool insert(std::int64_t k) { return keys.insert(k).second; }
-  } s;
+  RecordingSet s;
   repro::harness::prefill(s, 10000);
   EXPECT_GT(s.keys.size(), 3500u);
   EXPECT_LT(s.keys.size(), 4500u);
@@ -59,6 +61,30 @@ TEST(Harness, PrefillInsertsRoughlyFortyPercent) {
     EXPECT_GE(k, 1);
     EXPECT_LE(k, 10000);
   }
+}
+
+TEST(Harness, PrefillPercentIsParameterized) {
+  // Explicit percent argument wins.
+  RecordingSet dense;
+  repro::harness::prefill(dense, 10000, 80);
+  EXPECT_NEAR(dense.keys.size(), 8000u, 500u);
+
+  // REPRO_PREFILL_PCT drives the default.
+  setenv("REPRO_PREFILL_PCT", "10", 1);
+  EXPECT_EQ(repro::harness::prefill_pct(), 10);
+  RecordingSet sparse;
+  repro::harness::prefill(sparse, 10000);
+  unsetenv("REPRO_PREFILL_PCT");
+  EXPECT_NEAR(sparse.keys.size(), 1000u, 400u);
+  EXPECT_EQ(repro::harness::prefill_pct(), 40);
+
+  // 0 is a valid empty-start density, not "unset".
+  setenv("REPRO_PREFILL_PCT", "0", 1);
+  EXPECT_EQ(repro::harness::prefill_pct(), 0);
+  RecordingSet empty_set;
+  repro::harness::prefill(empty_set, 1000);
+  unsetenv("REPRO_PREFILL_PCT");
+  EXPECT_TRUE(empty_set.keys.empty());
 }
 
 TEST(Harness, RunThreadsAccountsOpsAndCounters) {
@@ -73,6 +99,7 @@ TEST(Harness, RunThreadsAccountsOpsAndCounters) {
   });
   unsetenv("REPRO_BENCH_MS");
   EXPECT_GT(r.total_ops, 0u);
+  EXPECT_EQ(r.threads, 4);  // RunResult rows are self-contained
   EXPECT_GT(r.ops_per_sec, 0.0);
   EXPECT_GT(r.seconds, 0.0);
   EXPECT_NEAR(r.flushes_per_op, 1.0, 0.01);
