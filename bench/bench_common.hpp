@@ -33,6 +33,10 @@ inline void publish(benchmark::State& state, const harness::RunResult& r) {
   state.counters["barriers_per_op"] = r.barriers_per_op;
   state.counters["flushes_per_op"] = r.flushes_per_op;
   state.counters["psyncs_per_op"] = r.psyncs_per_op;
+  state.counters["coalesced_pwb_per_op"] = r.coalesced_pwb_per_op;
+  state.counters["allocs_per_op"] = r.allocs_per_op;
+  state.counters["retired_per_op"] = r.retired_per_op;
+  state.counters["reuse_ratio"] = r.reuse_ratio;
   state.SetItemsProcessed(static_cast<std::int64_t>(r.total_ops));
 }
 

@@ -12,11 +12,12 @@
 
 namespace repro::baselines {
 
-class CapsulesList {
+template <typename Reclaimer = repro::mem::EbrReclaimer>
+class CapsulesListT {
  public:
   using Variant = repro::ds::CapsulesPolicy::Variant;
 
-  explicit CapsulesList(Variant v = Variant::general) : core_(v) {}
+  explicit CapsulesListT(Variant v = Variant::general) : core_(v) {}
 
   bool insert(std::int64_t key) { return core_.insert(key); }
   bool erase(std::int64_t key) { return core_.erase(key); }
@@ -25,7 +26,9 @@ class CapsulesList {
   std::size_t size_slow() const { return core_.size_slow(); }
 
  private:
-  repro::ds::HarrisListCore<repro::ds::CapsulesPolicy> core_;
+  repro::ds::HarrisListCore<repro::ds::CapsulesPolicy, Reclaimer> core_;
 };
+
+using CapsulesList = CapsulesListT<>;
 
 }  // namespace repro::baselines

@@ -11,17 +11,20 @@
 
 namespace repro::baselines {
 
-class CapsulesQueue {
+template <typename Reclaimer = repro::mem::EbrReclaimer>
+class CapsulesQueueT {
  public:
   using Variant = repro::ds::CapsulesPolicy::Variant;
 
-  explicit CapsulesQueue(Variant v = Variant::general) : core_(v) {}
+  explicit CapsulesQueueT(Variant v = Variant::general) : core_(v) {}
 
   void enqueue(std::uint64_t value) { core_.enqueue(value); }
   repro::ds::DequeueResult dequeue() { return core_.dequeue(); }
 
  private:
-  repro::ds::MsQueueCore<repro::ds::CapsulesPolicy> core_;
+  repro::ds::MsQueueCore<repro::ds::CapsulesPolicy, Reclaimer> core_;
 };
+
+using CapsulesQueue = CapsulesQueueT<>;
 
 }  // namespace repro::baselines

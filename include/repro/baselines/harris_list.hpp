@@ -1,12 +1,19 @@
 // The original (volatile, non-recoverable) Harris lock-free list: the
 // no-op-policy instantiation of the shared core.  Included in Figure 4
 // to show the raw cost each detectable transformation adds.
+// HarrisListLeaky keeps the seed's raw-new / leak-everything allocation
+// as an ablation point ("Harris-LL-leak") so the memory subsystem's win
+// stays measurable in-tree.
 #pragma once
 
 #include "repro/ds/harris_core.hpp"
 
 namespace repro::baselines {
 
-using HarrisList = repro::ds::HarrisListCore<repro::ds::NullPolicy>;
+template <typename Reclaimer = repro::mem::EbrReclaimer>
+using HarrisListT = repro::ds::HarrisListCore<repro::ds::NullPolicy, Reclaimer>;
+
+using HarrisList = HarrisListT<>;
+using HarrisListLeaky = HarrisListT<repro::mem::LeakReclaimer>;
 
 }  // namespace repro::baselines

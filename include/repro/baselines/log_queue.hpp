@@ -11,15 +11,18 @@
 
 namespace repro::baselines {
 
-class LogQueue {
+template <typename Reclaimer = repro::mem::EbrReclaimer>
+class LogQueueT {
  public:
-  LogQueue() = default;
+  LogQueueT() = default;
 
   void enqueue(std::uint64_t value) { core_.enqueue(value); }
   repro::ds::DequeueResult dequeue() { return core_.dequeue(); }
 
  private:
-  repro::ds::MsQueueCore<repro::ds::LogPolicy> core_;
+  repro::ds::MsQueueCore<repro::ds::LogPolicy, Reclaimer> core_;
 };
+
+using LogQueue = LogQueueT<>;
 
 }  // namespace repro::baselines

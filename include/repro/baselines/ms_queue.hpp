@@ -1,12 +1,17 @@
 // The original (volatile) Michael-Scott queue.  Conforms to the same
 // queue concept as every recoverable queue — dequeue() returns the
 // unified DequeueResult — so the bench adapters need no special case.
+// MsQueueLeaky is the seed's leak-everything ablation ("MS-Queue-leak").
 #pragma once
 
 #include "repro/ds/msqueue_core.hpp"
 
 namespace repro::baselines {
 
-using MsQueue = repro::ds::MsQueueCore<repro::ds::NullPolicy>;
+template <typename Reclaimer = repro::mem::EbrReclaimer>
+using MsQueueT = repro::ds::MsQueueCore<repro::ds::NullPolicy, Reclaimer>;
+
+using MsQueue = MsQueueT<>;
+using MsQueueLeaky = MsQueueT<repro::mem::LeakReclaimer>;
 
 }  // namespace repro::baselines

@@ -13,9 +13,10 @@
 
 namespace repro::ds {
 
-class DtList {
+template <typename Reclaimer = mem::EbrReclaimer>
+class DtListT {
  public:
-  explicit DtList(PersistProfile profile = PersistProfile::general)
+  explicit DtListT(PersistProfile profile = PersistProfile::general)
       : core_(profile) {}
 
   bool insert(std::int64_t key) { return core_.insert(key); }
@@ -29,7 +30,9 @@ class DtList {
   std::size_t size_slow() const { return core_.size_slow(); }
 
  private:
-  mutable HarrisListCore<DtPolicy> core_;
+  mutable HarrisListCore<DtPolicy, Reclaimer> core_;
 };
+
+using DtList = DtListT<>;
 
 }  // namespace repro::ds

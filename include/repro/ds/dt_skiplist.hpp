@@ -6,6 +6,10 @@
 // are linked best-effort.  In the direct-tracking style, traversals
 // persist every tombstoned node they cross, and every update persists
 // the link or flag it wrote plus its descriptor.
+//
+// Towers come from the per-thread pool; the structure never physically
+// unlinks, so only lost-race allocations are destroyed during
+// operations and the destructor returns the whole shape to the pool.
 #pragma once
 
 #include <atomic>
@@ -14,33 +18,36 @@
 
 #include "repro/ds/detectable.hpp"
 #include "repro/ds/policies.hpp"
+#include "repro/mem/ebr.hpp"
 
 namespace repro::ds {
 
-class DtSkipList {
+template <typename Reclaimer = mem::EbrReclaimer>
+class DtSkipListT {
  public:
-  DtSkipList() {
-    head_ = new Node(std::numeric_limits<std::int64_t>::min(),
-                     kMaxLevel - 1);
-    tail_ = new Node(std::numeric_limits<std::int64_t>::max(),
-                     kMaxLevel - 1);
+  DtSkipListT() {
+    head_ = Reclaimer::template create<Node>(
+        std::numeric_limits<std::int64_t>::min(), kMaxLevel - 1);
+    tail_ = Reclaimer::template create<Node>(
+        std::numeric_limits<std::int64_t>::max(), kMaxLevel - 1);
     for (int i = 0; i < kMaxLevel; ++i) {
       head_->next[i].store(tail_, std::memory_order_relaxed);
     }
   }
-  DtSkipList(const DtSkipList&) = delete;
-  DtSkipList& operator=(const DtSkipList&) = delete;
+  DtSkipListT(const DtSkipListT&) = delete;
+  DtSkipListT& operator=(const DtSkipListT&) = delete;
 
-  ~DtSkipList() {
+  ~DtSkipListT() {
     Node* n = head_;
     while (n != nullptr) {
       Node* nx = n->next[0].load(std::memory_order_relaxed);
-      delete n;
+      Reclaimer::template destroy<Node>(n);
       n = nx;  // tail's next is nullptr, ending the walk
     }
   }
 
   bool insert(std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     DetectableOp op(board_, OpKind::insert, key,
                     PersistProfile::general);
     Node* preds[kMaxLevel];
@@ -50,7 +57,9 @@ class DtSkipList {
       Node* found = search(key, preds, succs);
       if (found != nullptr) {
         bool dead = true;
-        ok = found->dead.compare_exchange_strong(dead, false);
+        ok = found->dead.compare_exchange_strong(
+            dead, false, std::memory_order_acq_rel,
+            std::memory_order_acquire);
         if (ok) persist_word(&found->dead);
         break;
       }
@@ -59,12 +68,15 @@ class DtSkipList {
         break;
       }
       const int top = random_level();
-      Node* node = new Node(key, top);
+      Node* node = Reclaimer::template create<Node>(key, top);
       node->next[0].store(succs[0], std::memory_order_relaxed);
       Node* expected = succs[0];
-      if (!preds[0]->next[0].compare_exchange_strong(expected, node)) {
-        delete node;
-        continue;  // bottom-level race; retry from a fresh search
+      if (!preds[0]->next[0].compare_exchange_strong(
+              expected, node, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        // Bottom-level race; the node was never published.
+        Reclaimer::template destroy<Node>(node);
+        continue;  // retry from a fresh search
       }
       persist_word(&preds[0]->next[0]);
       // Best-effort tower: a failed CAS just re-searches for fresh
@@ -73,7 +85,9 @@ class DtSkipList {
         while (true) {
           node->next[lvl].store(succs[lvl], std::memory_order_relaxed);
           Node* exp = succs[lvl];
-          if (preds[lvl]->next[lvl].compare_exchange_strong(exp, node)) {
+          if (preds[lvl]->next[lvl].compare_exchange_strong(
+                  exp, node, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
             break;
           }
           search(key, preds, succs);
@@ -87,6 +101,7 @@ class DtSkipList {
   }
 
   bool erase(std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     DetectableOp op(board_, OpKind::erase, key, PersistProfile::general);
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
@@ -95,7 +110,9 @@ class DtSkipList {
     Node* cur = succs[0];
     if (cur != tail_ && cur->key == key) {
       bool dead = false;
-      ok = cur->dead.compare_exchange_strong(dead, true);
+      ok = cur->dead.compare_exchange_strong(dead, true,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
       if (ok) persist_word(&cur->dead);
     }
     op.commit(ok, ok ? 1 : 0);
@@ -103,6 +120,7 @@ class DtSkipList {
   }
 
   bool find(std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     search(key, preds, succs);
@@ -175,5 +193,7 @@ class DtSkipList {
   Node* tail_;
   AnnouncementBoard board_;
 };
+
+using DtSkipList = DtSkipListT<>;
 
 }  // namespace repro::ds

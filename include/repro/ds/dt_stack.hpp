@@ -5,8 +5,13 @@
 // recoverable exchanger instead: a push offering its value can cancel
 // against a pop, and both complete without touching the stack.
 //
-// Popped nodes are leaked; node addresses are therefore never reused
-// and the classic Treiber ABA hazard does not arise.
+// Popped nodes are retired through the epoch reclaimer and recycled
+// into the pool.  The classic Treiber ABA hazard that address reuse
+// would reintroduce is closed by the epoch guard around each operation:
+// a node's cell cannot be handed out again while any thread that read
+// its old identity is still pinned.  Elimination descriptors are
+// likewise retired (never destroyed in place) because the partner
+// dereferences them inside its own guard.
 #pragma once
 
 #include <atomic>
@@ -15,50 +20,64 @@
 #include "repro/ds/detectable.hpp"
 #include "repro/ds/isb_exchanger.hpp"
 #include "repro/ds/policies.hpp"
+#include "repro/mem/ebr.hpp"
 
 namespace repro::ds {
 
-class DtStack {
+template <typename Reclaimer = mem::EbrReclaimer>
+class DtStackT {
  public:
   struct Config {
     bool elimination = false;
   };
 
-  DtStack() = default;
-  explicit DtStack(Config c) : cfg_(c) {}
-  DtStack(const DtStack&) = delete;
-  DtStack& operator=(const DtStack&) = delete;
+  DtStackT() = default;
+  explicit DtStackT(Config c) : cfg_(c) {}
+  DtStackT(const DtStackT&) = delete;
+  DtStackT& operator=(const DtStackT&) = delete;
 
-  ~DtStack() {
+  ~DtStackT() {
     Node* n = top_.load(std::memory_order_relaxed);
     while (n != nullptr) {
       Node* nx = n->next;
-      delete n;
+      Reclaimer::template destroy<Node>(n);
       n = nx;
     }
   }
 
   void push(std::uint64_t value) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     DetectableOp op(board_, OpKind::push,
                     static_cast<std::int64_t>(value),
                     PersistProfile::general);
-    Node* node = new Node{value, nullptr};
+    Node* node = Reclaimer::template create<Node>(value, nullptr);
     while (true) {
       Node* old = top_.load(std::memory_order_acquire);
       node->next = old;
-      if (top_.compare_exchange_strong(old, node)) {
+      if (top_.compare_exchange_strong(old, node,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
         pmem::flush(&top_);
         pmem::fence();
         break;
       }
       if (cfg_.elimination) {
         // Contended: offer the value to a concurrent pop.
-        ElimOp* offer = new ElimOp{true, value};
+        ElimOp* offer = Reclaimer::template create<ElimOp>(true, value);
         const auto ex =
             exchanger_.exchange(reinterpret_cast<std::uint64_t>(offer),
                                 kElimSpin);
-        if (ex.ok && !reinterpret_cast<ElimOp*>(ex.value)->is_push) {
-          delete node;  // a pop consumed the value directly
+        const bool eliminated =
+            ex.ok && !reinterpret_cast<ElimOp*>(ex.value)->is_push;
+        if (ex.ok) {
+          // A partner holds the pointer and may still be reading it
+          // inside its guard: defer the free past the grace period.
+          Reclaimer::template retire<ElimOp>(offer);
+        } else {
+          Reclaimer::template destroy<ElimOp>(offer);  // never seen
+        }
+        if (eliminated) {
+          Reclaimer::template destroy<Node>(node);  // pop took the value
           break;
         }
       }
@@ -67,28 +86,38 @@ class DtStack {
   }
 
   DequeueResult pop() {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     DetectableOp op(board_, OpKind::pop, 0, PersistProfile::general);
     DequeueResult r{false, 0};
     while (true) {
       Node* old = top_.load(std::memory_order_acquire);
       if (old == nullptr) break;  // observed empty
-      if (top_.compare_exchange_strong(old, old->next)) {
+      if (top_.compare_exchange_strong(old, old->next,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
         pmem::flush(&top_);
         pmem::fence();
         r = {true, old->value};
+        // This CAS (uniquely) unlinked old: retire it for recycling.
+        Reclaimer::template retire<Node>(old);
         break;
       }
       if (cfg_.elimination) {
-        ElimOp* offer = new ElimOp{false, 0};
+        ElimOp* offer = Reclaimer::template create<ElimOp>(false, 0);
         const auto ex =
             exchanger_.exchange(reinterpret_cast<std::uint64_t>(offer),
                                 kElimSpin);
         if (ex.ok) {
           const ElimOp* other = reinterpret_cast<ElimOp*>(ex.value);
-          if (other->is_push) {
-            r = {true, other->value};
+          const bool matched_push = other->is_push;
+          const std::uint64_t v = other->value;
+          Reclaimer::template retire<ElimOp>(offer);
+          if (matched_push) {
+            r = {true, v};
             break;
           }
+        } else {
+          Reclaimer::template destroy<ElimOp>(offer);
         }
       }
     }
@@ -100,15 +129,16 @@ class DtStack {
 
  private:
   struct Node {
+    Node(std::uint64_t v, Node* n) : value(v), next(n) {}
     std::uint64_t value;
     Node* next;  // immutable once the node is linked
   };
 
   // Elimination protocol: both sides exchange pointers to an ElimOp
   // descriptor (never a raw value, so the full 64-bit value space is
-  // preserved); a pairing only cancels when a push meets a pop.  The
-  // descriptors are leaked like every other published node.
+  // preserved); a pairing only cancels when a push meets a pop.
   struct ElimOp {
+    ElimOp(bool p, std::uint64_t v) : is_push(p), value(v) {}
     bool is_push;
     std::uint64_t value;
   };
@@ -117,7 +147,9 @@ class DtStack {
   Config cfg_;
   std::atomic<Node*> top_{nullptr};
   AnnouncementBoard board_;
-  IsbExchanger exchanger_;
+  IsbExchangerT<Reclaimer> exchanger_;
 };
+
+using DtStack = DtStackT<>;
 
 }  // namespace repro::ds

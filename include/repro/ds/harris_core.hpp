@@ -1,4 +1,5 @@
-// Harris lock-free linked list, parameterised by a persistence policy.
+// Harris lock-free linked list, parameterised by a persistence policy
+// and a memory reclaimer.
 //
 // The paper evaluates one underlying list (Harris's marked-pointer list)
 // under several detectable-recovery transformations that differ only in
@@ -17,9 +18,14 @@
 // DT and Capsules lists instantiate it with their respective policies
 // (see isb_list.hpp / dt_list.hpp / baselines/capsules_list.hpp).
 //
-// Removed nodes are leaked: safe memory reclamation is orthogonal to the
-// persistence cost the benchmarks measure (the paper's artifact does the
-// same) and a proper epoch reclaimer is tracked in ROADMAP.md.
+// Memory management (the Reclaimer parameter, default mem::EbrReclaimer):
+// nodes come from the per-thread pool, every operation runs inside an
+// epoch guard, and each physically-unlinked node is retired exactly once
+// — by the thread whose CAS removed it from the list (erase's unlink CAS
+// or search's marked-chain snip; expected-value CAS semantics make the
+// winner unique).  After its grace period a retired node is recycled
+// into the owning pool instead of leaked.  mem::LeakReclaimer recovers
+// the seed's leak-everything behaviour for ablation runs.
 #pragma once
 
 #include <atomic>
@@ -29,10 +35,19 @@
 #include <utility>
 
 #include "repro/ds/detectable.hpp"
+#include "repro/mem/ebr.hpp"
 
 namespace repro::ds {
 
-template <typename Policy>
+// One list cell; shared by every policy instantiation so all Harris
+// variants draw from (and recycle into) the same node pool.
+struct ListNode {
+  ListNode(std::int64_t k, ListNode* n) : key(k), next(n) {}
+  std::int64_t key;
+  std::atomic<ListNode*> next;
+};
+
+template <typename Policy, typename Reclaimer = mem::EbrReclaimer>
 class HarrisListCore {
  public:
   // Policies hold atomics (announcement boards, capsules) and cannot be
@@ -40,16 +55,24 @@ class HarrisListCore {
   template <typename... Args>
   explicit HarrisListCore(Args&&... args)
       : policy_(std::forward<Args>(args)...) {
-    head_ = new Node{std::numeric_limits<std::int64_t>::min(), nullptr};
-    tail_ = new Node{std::numeric_limits<std::int64_t>::max(), nullptr};
+    head_ = Reclaimer::template create<Node>(
+        std::numeric_limits<std::int64_t>::min(), nullptr);
+    tail_ = Reclaimer::template create<Node>(
+        std::numeric_limits<std::int64_t>::max(), nullptr);
     head_->next.store(tail_, std::memory_order_relaxed);
   }
 
+  // Teardown frees every node still linked — including marked
+  // (logically-deleted but not yet physically unlinked) nodes, which
+  // the unmark() walk reaches like any other cell.  Unlinked nodes are
+  // not the destructor's to free: their unlinker retired them and the
+  // epoch reclaimer returns them to the pool independently of this
+  // structure's lifetime.
   ~HarrisListCore() {
     Node* n = head_;
     while (n != nullptr) {
       Node* nx = unmark(n->next.load(std::memory_order_relaxed));
-      delete n;
+      Reclaimer::template destroy<Node>(n);
       n = nx;
     }
   }
@@ -58,6 +81,7 @@ class HarrisListCore {
   HarrisListCore& operator=(const HarrisListCore&) = delete;
 
   bool insert(std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     policy_.op_start(OpKind::insert, key, false);
     Node* node = nullptr;
     bool ok = false;
@@ -68,22 +92,29 @@ class HarrisListCore {
         ok = false;
         break;
       }
-      if (node == nullptr) node = new Node{key, nullptr};
+      if (node == nullptr) {
+        node = Reclaimer::template create<Node>(key, nullptr);
+      }
       node->next.store(right, std::memory_order_relaxed);
       policy_.pre_cas(&left->next);
       Node* expected = right;
-      if (left->next.compare_exchange_strong(expected, node)) {
+      if (left->next.compare_exchange_strong(expected, node,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
         policy_.post_update(&left->next, node);
         ok = true;
         break;
       }
     }
-    if (!ok && node != nullptr) delete node;  // never linked
+    if (!ok && node != nullptr) {
+      Reclaimer::template destroy<Node>(node);  // never linked
+    }
     policy_.op_end(ok, ok ? 1 : 0, false);
     return ok;
   }
 
   bool erase(std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     policy_.op_start(OpKind::erase, key, false);
     bool ok = false;
     while (true) {
@@ -98,15 +129,20 @@ class HarrisListCore {
         policy_.pre_cas(&right->next);
         Node* expected = right_next;
         // Logical deletion: set the mark bit on right's next pointer.
-        if (right->next.compare_exchange_strong(expected,
-                                                mark(right_next))) {
+        if (right->next.compare_exchange_strong(
+                expected, mark(right_next), std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
           policy_.post_update(&right->next, nullptr);
           // Best-effort physical unlink; search() will finish the job
           // if this fails.
           policy_.pre_cas(&left->next);
           Node* expl = right;
-          if (left->next.compare_exchange_strong(expl, right_next)) {
+          if (left->next.compare_exchange_strong(
+                  expl, right_next, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
             policy_.post_update(&left->next, nullptr);
+            // This CAS (uniquely) unlinked right: it is ours to retire.
+            Reclaimer::template retire<Node>(right);
           }
           ok = true;
           break;
@@ -118,6 +154,7 @@ class HarrisListCore {
   }
 
   bool find(std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     policy_.op_start(OpKind::find, key, true);
     Node* left = nullptr;
     Node* right = search(key, &left);
@@ -128,6 +165,7 @@ class HarrisListCore {
 
   // Unmarked-node count; only meaningful while no other thread mutates.
   std::size_t size_slow() const {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     std::size_t n = 0;
     for (Node* c = unmark(head_->next.load()); c != tail_;
          c = unmark(c->next.load())) {
@@ -139,10 +177,7 @@ class HarrisListCore {
   Policy& policy() { return policy_; }
 
  private:
-  struct Node {
-    std::int64_t key;
-    std::atomic<Node*> next;
-  };
+  using Node = ListNode;
 
   static bool is_marked(Node* p) {
     return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
@@ -157,8 +192,8 @@ class HarrisListCore {
   }
 
   // Harris search: returns the first unmarked node with key >= `key`
-  // and its unmarked predecessor, unlinking any marked chain in
-  // between.
+  // and its unmarked predecessor, unlinking (and retiring) any marked
+  // chain in between.
   Node* search(std::int64_t key, Node** left_node) {
     while (true) {
       Node* left = head_;
@@ -192,8 +227,17 @@ class HarrisListCore {
       // Phase 3: snip out the marked chain between left and right.
       policy_.pre_cas(&left->next);
       Node* expected = left_next;
-      if (left->next.compare_exchange_strong(expected, right)) {
+      if (left->next.compare_exchange_strong(expected, right,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
         policy_.post_update(&left->next, nullptr);
+        // The snip succeeded, so this thread exclusively owns the
+        // marked chain [left_next, right): retire each node once.
+        for (Node* p = unmark(left_next); p != right;) {
+          Node* nx = unmark(p->next.load(std::memory_order_relaxed));
+          Reclaimer::template retire<Node>(p);
+          p = nx;
+        }
         if (right != tail_ &&
             is_marked(right->next.load(std::memory_order_acquire))) {
           continue;

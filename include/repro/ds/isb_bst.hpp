@@ -7,6 +7,11 @@
 // announce through the shared Detectable API and persist the one line
 // they modified; find() uses the read-only optimization and issues no
 // persistence instructions.
+//
+// Nodes come from the per-thread pool; since the tree never physically
+// unlinks, nothing is retired during operations — only lost-race
+// allocations are destroyed in place and the destructor returns the
+// whole shape to the pool.
 #pragma once
 
 #include <atomic>
@@ -14,19 +19,22 @@
 
 #include "repro/ds/detectable.hpp"
 #include "repro/ds/policies.hpp"
+#include "repro/mem/ebr.hpp"
 
 namespace repro::ds {
 
-class IsbBst {
+template <typename Reclaimer = mem::EbrReclaimer>
+class IsbBstT {
  public:
-  explicit IsbBst(PersistProfile profile = PersistProfile::general)
+  explicit IsbBstT(PersistProfile profile = PersistProfile::general)
       : profile_(profile) {}
-  IsbBst(const IsbBst&) = delete;
-  IsbBst& operator=(const IsbBst&) = delete;
+  IsbBstT(const IsbBstT&) = delete;
+  IsbBstT& operator=(const IsbBstT&) = delete;
 
-  ~IsbBst() { destroy(root_.load(std::memory_order_relaxed)); }
+  ~IsbBstT() { destroy(root_.load(std::memory_order_relaxed)); }
 
   bool insert(std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     DetectableOp op(board_, OpKind::insert, key, profile_);
     bool ok;
     while (true) {
@@ -39,30 +47,38 @@ class IsbBst {
       if (cur != nullptr) {
         // Key node exists: revive it if tombstoned.
         bool dead = true;
-        ok = cur->dead.compare_exchange_strong(dead, false);
+        ok = cur->dead.compare_exchange_strong(
+            dead, false, std::memory_order_acq_rel,
+            std::memory_order_acquire);
         if (ok) persist_update(&cur->dead, cur);
         break;
       }
-      Node* node = new Node{key};
+      Node* node = Reclaimer::template create<Node>(key);
       Node* expected = nullptr;
-      if (link->compare_exchange_strong(expected, node)) {
+      if (link->compare_exchange_strong(expected, node,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
         persist_update(link, node);
         ok = true;
         break;
       }
-      delete node;  // lost the race; retry from the new subtree
+      // Lost the race; the node was never published.
+      Reclaimer::template destroy<Node>(node);
     }
     op.commit(ok, ok ? 1 : 0);
     return ok;
   }
 
   bool erase(std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     DetectableOp op(board_, OpKind::erase, key, profile_);
     Node* cur = locate(key);
     bool ok = false;
     if (cur != nullptr) {
       bool dead = false;
-      ok = cur->dead.compare_exchange_strong(dead, true);
+      ok = cur->dead.compare_exchange_strong(dead, true,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
       if (ok) persist_update(&cur->dead, nullptr);
     }
     op.commit(ok, ok ? 1 : 0);
@@ -70,6 +86,7 @@ class IsbBst {
   }
 
   bool find(std::int64_t key) const {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     const Node* cur = locate(key);
     return cur != nullptr && !cur->dead.load(std::memory_order_acquire);
   }
@@ -106,12 +123,14 @@ class IsbBst {
     if (n == nullptr) return;
     destroy(n->left.load(std::memory_order_relaxed));
     destroy(n->right.load(std::memory_order_relaxed));
-    delete n;
+    Reclaimer::template destroy<Node>(n);
   }
 
   PersistProfile profile_;
   std::atomic<Node*> root_{nullptr};
   AnnouncementBoard board_;
 };
+
+using IsbBst = IsbBstT<>;
 
 }  // namespace repro::ds

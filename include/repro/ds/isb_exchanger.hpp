@@ -4,9 +4,11 @@
 // pair before either side returns, so a recovering thread can tell from
 // its descriptor whether its exchange took effect and what it received.
 //
-// Exchange nodes are leaked once published (a withdrawn node may still
-// be referenced by a concurrent claimer), matching the no-reclamation
-// convention of the other structures.
+// Exchange nodes are owned by their poster: after a node is resolved
+// (matched and read, or withdrawn) the poster retires it through the
+// epoch reclaimer — a concurrent claimer may still hold the pointer
+// inside its own guard, so the grace period covers the hand-off and the
+// cell is recycled instead of leaked.
 #pragma once
 
 #include <atomic>
@@ -14,6 +16,7 @@
 
 #include "repro/ds/detectable.hpp"
 #include "repro/ds/policies.hpp"
+#include "repro/mem/ebr.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
@@ -27,15 +30,17 @@ inline void cpu_relax() {
 #endif
 }
 
-class IsbExchanger {
+template <typename Reclaimer = mem::EbrReclaimer>
+class IsbExchangerT {
  public:
-  IsbExchanger() = default;
-  IsbExchanger(const IsbExchanger&) = delete;
-  IsbExchanger& operator=(const IsbExchanger&) = delete;
+  IsbExchangerT() = default;
+  IsbExchangerT(const IsbExchangerT&) = delete;
+  IsbExchangerT& operator=(const IsbExchangerT&) = delete;
 
   // Tries for at most `attempts` rounds to pair with another thread;
   // on success returns {true, partner's value}.
   DequeueResult exchange(std::uint64_t value, int attempts) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     DetectableOp op(board_, OpKind::exchange,
                     static_cast<std::int64_t>(value),
                     PersistProfile::optimized);
@@ -44,9 +49,15 @@ class IsbExchanger {
     for (int i = 0; i < attempts && !r.ok; ++i) {
       Node* cur = slot_.load(std::memory_order_acquire);
       if (cur == nullptr) {
-        if (mine == nullptr) mine = new Node{value};
+        if (mine == nullptr) {
+          mine = Reclaimer::template create<Node>(value);
+        }
         Node* expected = nullptr;
-        if (!slot_.compare_exchange_strong(expected, mine)) continue;
+        if (!slot_.compare_exchange_strong(expected, mine,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+          continue;
+        }
         // Posted; wait a bounded while for a partner.
         for (int j = 0; j < attempts; ++j) {
           if (mine->matched.load(std::memory_order_acquire)) break;
@@ -56,9 +67,9 @@ class IsbExchanger {
           r = {true, mine->answer.load(std::memory_order_acquire)};
         } else {
           Node* expm = mine;
-          if (slot_.compare_exchange_strong(expm, nullptr)) {
-            mine = nullptr;  // withdrawn; node may still be observed
-          } else {
+          if (!slot_.compare_exchange_strong(expm, nullptr,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
             // A claimer got there first; the match is imminent.
             while (!mine->matched.load(std::memory_order_acquire)) {
               cpu_relax();
@@ -66,9 +77,16 @@ class IsbExchanger {
             r = {true, mine->answer.load(std::memory_order_acquire)};
           }
         }
-      } else if (slot_.compare_exchange_strong(cur, nullptr)) {
+        // Resolved either way (matched or withdrawn): a concurrent
+        // claimer may still hold the pointer, so defer the free.
+        Reclaimer::template retire<Node>(mine);
+        mine = nullptr;
+      } else if (slot_.compare_exchange_strong(
+                     cur, nullptr, std::memory_order_acq_rel,
+                     std::memory_order_acquire)) {
         // Claimed a waiting partner: publish our value to them and
         // persist the matched pair — the exchange's linearization.
+        // The poster owns (and will retire) cur.
         cur->answer.store(value, std::memory_order_release);
         cur->matched.store(true, std::memory_order_release);
         pmem::flush(cur);
@@ -77,6 +95,8 @@ class IsbExchanger {
       }
       cpu_relax();
     }
+    // An allocated-but-never-posted node was seen by no one.
+    if (mine != nullptr) Reclaimer::template destroy<Node>(mine);
     op.commit(r.ok, r.value);
     return r;
   }
@@ -85,6 +105,7 @@ class IsbExchanger {
 
  private:
   struct Node {
+    explicit Node(std::uint64_t v) : offered(v) {}
     std::uint64_t offered;
     std::atomic<std::uint64_t> answer{0};
     std::atomic<bool> matched{false};
@@ -93,5 +114,7 @@ class IsbExchanger {
   std::atomic<Node*> slot_{nullptr};
   AnnouncementBoard board_;
 };
+
+using IsbExchanger = IsbExchangerT<>;
 
 }  // namespace repro::ds

@@ -3,7 +3,9 @@
 // selects between the general persistence placement ("Isb" in the
 // figures) and the hand-tuned one ("Isb-Opt"); Config::read_only_opt
 // toggles the Algorithm-2 optimization that lets find() complete
-// without any persistence instructions.
+// without any persistence instructions.  The Reclaimer parameter picks
+// the memory subsystem (mem::EbrReclaimer by default; LeakReclaimer is
+// the seed's leak-everything ablation, registered as "Isb-leak").
 #pragma once
 
 #include <cstddef>
@@ -14,15 +16,16 @@
 
 namespace repro::ds {
 
-class IsbList {
+template <typename Reclaimer = mem::EbrReclaimer>
+class IsbListT {
  public:
   struct Config {
     PersistProfile profile = PersistProfile::general;
     bool read_only_opt = true;
   };
 
-  IsbList() : IsbList(Config{}) {}
-  explicit IsbList(Config c)
+  IsbListT() : IsbListT(Config{}) {}
+  explicit IsbListT(Config c)
       : core_(IsbPolicy::Options{c.profile, c.read_only_opt}) {}
 
   bool insert(std::int64_t key) { return core_.insert(key); }
@@ -38,7 +41,9 @@ class IsbList {
   std::size_t size_slow() const { return core_.size_slow(); }
 
  private:
-  mutable HarrisListCore<IsbPolicy> core_;
+  mutable HarrisListCore<IsbPolicy, Reclaimer> core_;
 };
+
+using IsbList = IsbListT<>;
 
 }  // namespace repro::ds

@@ -11,9 +11,10 @@
 
 namespace repro::ds {
 
-class IsbQueue {
+template <typename Reclaimer = mem::EbrReclaimer>
+class IsbQueueT {
  public:
-  explicit IsbQueue(PersistProfile profile = PersistProfile::optimized)
+  explicit IsbQueueT(PersistProfile profile = PersistProfile::optimized)
       : core_(IsbPolicy::Options{profile, /*read_only_opt=*/true}) {}
 
   void enqueue(std::uint64_t value) { core_.enqueue(value); }
@@ -24,7 +25,9 @@ class IsbQueue {
   }
 
  private:
-  mutable MsQueueCore<IsbPolicy> core_;
+  mutable MsQueueCore<IsbPolicy, Reclaimer> core_;
 };
+
+using IsbQueue = IsbQueueT<>;
 
 }  // namespace repro::ds

@@ -1,11 +1,17 @@
 // Michael-Scott lock-free queue, parameterised by the same persistence
-// policy concept as HarrisListCore (see harris_core.hpp).  MsQueue,
-// IsbQueue, LogQueue and CapsulesQueue are all instantiations of this
-// core; they differ only in the pwb/pfence/psync placement and the
-// per-thread recovery metadata their policies maintain.
+// policy concept as HarrisListCore (see harris_core.hpp) and the same
+// memory reclaimer.  MsQueue, IsbQueue, LogQueue and CapsulesQueue are
+// all instantiations of this core; they differ only in the
+// pwb/pfence/psync placement and the per-thread recovery metadata their
+// policies maintain.
 //
-// Dequeued nodes are leaked (see the reclamation note in
-// harris_core.hpp).
+// A dequeue retires the node it uninstalled from head_ (the old dummy)
+// once its head CAS succeeds — the winner of that CAS is unique, so
+// each node is retired exactly once and recycled into the pool after
+// its epoch grace period.  The epoch guard around each operation is
+// also what makes node reuse ABA-safe: head_/tail_/next CASes can only
+// observe a recycled address after every thread that read the old
+// identity has gone quiescent.
 #pragma once
 
 #include <atomic>
@@ -13,26 +19,40 @@
 #include <utility>
 
 #include "repro/ds/detectable.hpp"
+#include "repro/mem/ebr.hpp"
 
 namespace repro::ds {
 
-template <typename Policy>
+// One queue cell; shared by every policy instantiation so all MS-queue
+// variants draw from the same node pool.
+struct QueueNode {
+  QueueNode(std::uint64_t v, QueueNode* n) : value(v), next(n) {}
+  std::uint64_t value;
+  std::atomic<QueueNode*> next;
+};
+
+template <typename Policy, typename Reclaimer = mem::EbrReclaimer>
 class MsQueueCore {
  public:
   // Policies hold atomics and cannot be moved; construct in place.
   template <typename... Args>
   explicit MsQueueCore(Args&&... args)
       : policy_(std::forward<Args>(args)...) {
-    Node* dummy = new Node{0, nullptr};
+    Node* dummy = Reclaimer::template create<Node>(0, nullptr);
     head_.store(dummy, std::memory_order_relaxed);
     tail_.store(dummy, std::memory_order_relaxed);
   }
 
+  // Teardown: everything reachable from head_ — the current dummy plus
+  // all still-enqueued nodes — is freed here; every *dequeued* node was
+  // already retired by its dequeuer and is reclaimed independently of
+  // this structure's lifetime (audited against the list destructor:
+  // neither can skip a linked node, and neither touches unlinked ones).
   ~MsQueueCore() {
     Node* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
       Node* nx = n->next.load(std::memory_order_relaxed);
-      delete n;
+      Reclaimer::template destroy<Node>(n);
       n = nx;
     }
   }
@@ -41,9 +61,10 @@ class MsQueueCore {
   MsQueueCore& operator=(const MsQueueCore&) = delete;
 
   void enqueue(std::uint64_t value) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     policy_.op_start(OpKind::enqueue, static_cast<std::int64_t>(value),
                      false);
-    Node* node = new Node{value, nullptr};
+    Node* node = Reclaimer::template create<Node>(value, nullptr);
     while (true) {
       Node* last = tail_.load(std::memory_order_acquire);
       Node* next = last->next.load(std::memory_order_acquire);
@@ -52,23 +73,30 @@ class MsQueueCore {
       if (next == nullptr) {
         policy_.pre_cas(&last->next);
         Node* expected = nullptr;
-        if (last->next.compare_exchange_strong(expected, node)) {
+        if (last->next.compare_exchange_strong(
+                expected, node, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
           // The link CAS is the (durable) linearization point; the tail
           // swing below is volatile bookkeeping that recovery rebuilds.
           policy_.post_update(&last->next, node);
           Node* expl = last;
-          tail_.compare_exchange_strong(expl, node);
+          tail_.compare_exchange_strong(expl, node,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
           break;
         }
       } else {
         Node* expl = last;  // help a stalled enqueuer
-        tail_.compare_exchange_strong(expl, next);
+        tail_.compare_exchange_strong(expl, next,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
       }
     }
     policy_.op_end(true, value, false);
   }
 
   DequeueResult dequeue() {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
     policy_.op_start(OpKind::dequeue, 0, false);
     DequeueResult r;
     while (true) {
@@ -83,14 +111,20 @@ class MsQueueCore {
       }
       if (first == last) {
         Node* expl = last;  // tail lagging: help
-        tail_.compare_exchange_strong(expl, next);
+        tail_.compare_exchange_strong(expl, next,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
         continue;
       }
       const std::uint64_t value = next->value;
       policy_.pre_cas(&head_);
       Node* expf = first;
-      if (head_.compare_exchange_strong(expf, next)) {
+      if (head_.compare_exchange_strong(expf, next,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
         policy_.post_update(&head_, nullptr);
+        // This CAS (uniquely) uninstalled `first` as the dummy.
+        Reclaimer::template retire<Node>(first);
         r = {true, value};
         break;
       }
@@ -102,10 +136,7 @@ class MsQueueCore {
   Policy& policy() { return policy_; }
 
  private:
-  struct Node {
-    std::uint64_t value;
-    std::atomic<Node*> next;
-  };
+  using Node = QueueNode;
 
   alignas(64) std::atomic<Node*> head_;
   alignas(64) std::atomic<Node*> tail_;

@@ -333,6 +333,19 @@ inline bool register_builtins() {
          }});
   r.add({"Harris-LL", Kind::set, {"volatile", "baseline"},
          [] { return std::make_unique<SetAdapter<HarrisList>>(); }});
+  // Memory-subsystem ablations: the seed's raw-new / leak-everything
+  // allocation, so the EBR+pool win stays measurable in-tree.
+  r.add({"Harris-LL-leak", Kind::set,
+         {"volatile", "baseline", "ablation", "no-reclaim"}, [] {
+           return std::make_unique<SetAdapter<baselines::HarrisListLeaky>>();
+         }});
+  r.add({"Isb-leak", Kind::set,
+         {"detectable", "persistent", "isb-list", "ablation",
+          "no-reclaim"},
+         [] {
+           return std::make_unique<
+               SetAdapter<ds::IsbListT<mem::LeakReclaimer>>>();
+         }});
   // Ablation variants: Algorithm-2 read-only optimization disabled.
   r.add({"Isb-noROopt", Kind::set,
          {"detectable", "persistent", "isb-list", "ablation"},
@@ -359,6 +372,10 @@ inline bool register_builtins() {
          }});
   r.add({"MS-Queue", Kind::queue, {"volatile", "baseline"},
          [] { return std::make_unique<QueueAdapter<MsQueue>>(); }});
+  r.add({"MS-Queue-leak", Kind::queue,
+         {"volatile", "baseline", "ablation", "no-reclaim"}, [] {
+           return std::make_unique<QueueAdapter<baselines::MsQueueLeaky>>();
+         }});
 
   // Section 6 structures.
   r.add({"Bst-Isb", Kind::set, {"detectable", "persistent", "bst"}, [] {

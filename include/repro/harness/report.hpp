@@ -18,17 +18,20 @@ inline void print_figure_header(const std::string& figure,
 }
 
 inline void print_columns() {
-  std::printf("%-18s %-40s %8s %14s %13s %13s %11s\n", "algo", "scenario",
-              "threads", "ops/sec", "pwb/op", "pbarrier/op", "psync/op");
+  std::printf("%-18s %-40s %8s %14s %13s %13s %11s %9s %9s %6s\n",
+              "algo", "scenario", "threads", "ops/sec", "pwb/op",
+              "pbarrier/op", "psync/op", "coal/op", "alloc/op", "reuse");
   std::fflush(stdout);
 }
 
 // The thread count comes from the (self-contained) RunResult.
 inline void print_row(const std::string& algo, const std::string& scenario,
                       const RunResult& r) {
-  std::printf("%-18s %-40s %8d %14.0f %13.2f %13.2f %11.2f\n",
+  std::printf("%-18s %-40s %8d %14.0f %13.2f %13.2f %11.2f %9.2f %9.2f "
+              "%6.2f\n",
               algo.c_str(), scenario.c_str(), r.threads, r.ops_per_sec,
-              r.flushes_per_op, r.barriers_per_op, r.psyncs_per_op);
+              r.flushes_per_op, r.barriers_per_op, r.psyncs_per_op,
+              r.coalesced_pwb_per_op, r.allocs_per_op, r.reuse_ratio);
   std::fflush(stdout);
 }
 

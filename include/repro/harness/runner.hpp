@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "repro/harness/workload.hpp"
+#include "repro/mem/ebr.hpp"
+#include "repro/mem/pool.hpp"
 #include "repro/pmem/persist.hpp"
 
 namespace repro::harness {
@@ -27,8 +29,14 @@ struct RunResult {
   double seconds = 0;
   double ops_per_sec = 0;
   double barriers_per_op = 0;  // pfences ("pbarriers")
-  double flushes_per_op = 0;   // pwbs
+  double flushes_per_op = 0;   // pwbs, as issued by the algorithm
   double psyncs_per_op = 0;
+  // Memory-subsystem quantities (mem/pool.hpp + mem/ebr.hpp) and the
+  // pwb-coalescing elision rate (pmem/persist.hpp).
+  double coalesced_pwb_per_op = 0;  // same-line pwbs elided per op
+  double allocs_per_op = 0;         // pool cells handed out per op
+  double retired_per_op = 0;        // nodes retired to the reclaimer
+  double reuse_ratio = 0;           // fraction of allocs served recycled
   int threads = 0;
   std::uint64_t point_index = 0;
 };
@@ -90,10 +98,16 @@ RunResult run_threads(int threads, Body&& body, int run_ms = 0) {
   struct alignas(64) Slot {
     std::uint64_t ops = 0;
     pmem::Counters counters;
+    mem::Stats mem_stats;
   };
   std::vector<Slot> slots(static_cast<std::size_t>(threads));
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
+
+  // Prefill (or any prior setup) ran on this thread and left its epoch
+  // pin armed; drop it so the sleeping driver does not stall the
+  // workers' grace periods for the whole measured interval.
+  mem::EpochDomain::instance().release_pin();
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));
@@ -104,6 +118,7 @@ RunResult run_threads(int threads, Body&& body, int run_ms = 0) {
         std::this_thread::yield();
       }
       const pmem::Counters before = pmem::counters();
+      const mem::Stats mem_before = mem::stats();
       std::uint64_t n = 0;
       while (!stop.load(std::memory_order_acquire)) {
         body(t, rng);
@@ -112,6 +127,8 @@ RunResult run_threads(int threads, Body&& body, int run_ms = 0) {
       slots[static_cast<std::size_t>(t)].ops = n;
       slots[static_cast<std::size_t>(t)].counters =
           pmem::counters() - before;
+      slots[static_cast<std::size_t>(t)].mem_stats =
+          mem::stats() - mem_before;
     });
   }
 
@@ -126,9 +143,11 @@ RunResult run_threads(int threads, Body&& body, int run_ms = 0) {
   RunResult r;
   r.threads = threads;
   pmem::Counters total;
+  mem::Stats mem_total;
   for (const auto& s : slots) {
     r.total_ops += s.ops;
     total += s.counters;
+    mem_total += s.mem_stats;
   }
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   if (r.seconds > 0) {
@@ -139,6 +158,13 @@ RunResult run_threads(int threads, Body&& body, int run_ms = 0) {
     r.barriers_per_op = static_cast<double>(total.fences) / ops;
     r.flushes_per_op = static_cast<double>(total.flushes) / ops;
     r.psyncs_per_op = static_cast<double>(total.psyncs) / ops;
+    r.coalesced_pwb_per_op = static_cast<double>(total.coalesced) / ops;
+    r.allocs_per_op = static_cast<double>(mem_total.allocs) / ops;
+    r.retired_per_op = static_cast<double>(mem_total.retires) / ops;
+  }
+  if (mem_total.allocs > 0) {
+    r.reuse_ratio = static_cast<double>(mem_total.reuses) /
+                    static_cast<double>(mem_total.allocs);
   }
   return r;
 }

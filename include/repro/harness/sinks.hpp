@@ -136,7 +136,8 @@ class CsvSink final : public StreamSinkBase {
     if (!header_written_) {
       out() << "point_index,figure,algo,mode,dist,key_range,mix,threads,"
                "seconds,total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,"
-               "psync_per_op,recovery_us\n";
+               "psync_per_op,coalesced_pwb_per_op,allocs_per_op,"
+               "retired_per_op,reuse_ratio,recovery_us\n";
       header_written_ = true;
     }
     out() << r.run.point_index << ',' << r.figure << ',' << r.algo << ','
@@ -147,6 +148,10 @@ class CsvSink final : public StreamSinkBase {
           << fmt_double(r.run.flushes_per_op) << ','
           << fmt_double(r.run.barriers_per_op) << ','
           << fmt_double(r.run.psyncs_per_op) << ','
+          << fmt_double(r.run.coalesced_pwb_per_op) << ','
+          << fmt_double(r.run.allocs_per_op) << ','
+          << fmt_double(r.run.retired_per_op) << ','
+          << fmt_double(r.run.reuse_ratio) << ','
           << (r.recovery_us >= 0 ? fmt_double(r.recovery_us) : "") << '\n';
     out().flush();
   }
@@ -176,7 +181,12 @@ class JsonlSink final : public StreamSinkBase {
           << ",\"ops_per_sec\":" << fmt_double(r.run.ops_per_sec)
           << ",\"pwb_per_op\":" << fmt_double(r.run.flushes_per_op)
           << ",\"pbarrier_per_op\":" << fmt_double(r.run.barriers_per_op)
-          << ",\"psync_per_op\":" << fmt_double(r.run.psyncs_per_op);
+          << ",\"psync_per_op\":" << fmt_double(r.run.psyncs_per_op)
+          << ",\"coalesced_pwb_per_op\":"
+          << fmt_double(r.run.coalesced_pwb_per_op)
+          << ",\"allocs_per_op\":" << fmt_double(r.run.allocs_per_op)
+          << ",\"retired_per_op\":" << fmt_double(r.run.retired_per_op)
+          << ",\"reuse_ratio\":" << fmt_double(r.run.reuse_ratio);
     if (r.recovery_us >= 0) {
       out() << ",\"recovery_us\":" << fmt_double(r.recovery_us);
     }

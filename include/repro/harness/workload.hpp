@@ -19,6 +19,10 @@ struct Mix {
 
 inline constexpr Mix kReadIntensive{"read-intensive", 15, 15, 70};
 inline constexpr Mix kUpdateIntensive{"update-intensive", 35, 35, 30};
+// Pure-churn mix (no finds): the memory subsystem's stress point —
+// every operation allocates or retires a node, so throughput here is
+// what the epoch reclaimer + node pools are accountable for.
+inline constexpr Mix kUpdateOnly{"update-only", 50, 50, 0};
 
 enum class OpType { insert, erase, find };
 

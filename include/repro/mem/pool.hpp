@@ -1,0 +1,191 @@
+// Per-thread segregated node pools.
+//
+// Every structure in ds/ and baselines/ used to allocate nodes with raw
+// `new` on the hot path and leak whatever it unlinked; update-heavy runs
+// were therefore bounded by allocator contention and unbounded RSS
+// growth rather than by the persistence instructions the paper
+// measures.  NodePool<T> replaces that: each thread slot owns a shard
+// holding a private free list plus a bump pointer into the current
+// slab.  Slabs are cache-line-aligned 64 KiB blocks carved into
+// tightly-packed fixed-size cells, so consecutive allocations land on
+// the same lines and a list traversal touches a fraction of the cache
+// footprint malloc'd nodes would.  Freed cells go back to the freeing
+// thread's shard and are handed out again before any slab grows — in
+// steady state the structure runs entirely out of recycled nodes
+// (reuse_ratio -> 1 in the harness).
+//
+// Concurrency contract: a shard is touched only by the thread currently
+// owning its slot (ds::thread_slot()).  Slot hand-off between threads
+// is synchronised by the slot table's acq_rel exchange, so plain
+// (non-atomic) shard fields are race-free.  Cross-thread frees do not
+// exist: epoch reclamation (ebr.hpp) runs a node's deleter on the
+// thread that retired it, and that deleter returns the cell to the
+// *running* thread's shard.  Slabs are never returned to the OS while
+// the process runs — the pool's RSS is bounded by the high-watermark of
+// live nodes, which the EBR grace period keeps O(live structure size).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "repro/ds/detectable.hpp"
+
+namespace repro::mem {
+
+inline constexpr std::size_t kCacheLine = 64;
+inline constexpr std::size_t kSlabBytes = std::size_t{1} << 16;  // 64 KiB
+
+// Per-thread tallies of memory-subsystem events, snapshotted by the
+// harness around a measured interval exactly like pmem::Counters.
+struct Stats {
+  std::uint64_t allocs = 0;    // pool cells handed out
+  std::uint64_t reuses = 0;    // allocs served from a free list
+  std::uint64_t retires = 0;   // nodes handed to the reclaimer
+  std::uint64_t reclaims = 0;  // retired nodes recycled into a pool
+
+  Stats& operator+=(const Stats& o) {
+    allocs += o.allocs;
+    reuses += o.reuses;
+    retires += o.retires;
+    reclaims += o.reclaims;
+    return *this;
+  }
+  Stats operator-(const Stats& o) const {
+    return {allocs - o.allocs, reuses - o.reuses, retires - o.retires,
+            reclaims - o.reclaims};
+  }
+};
+
+namespace detail {
+inline thread_local Stats tl_stats{};
+
+// Process-wide count of pool cells currently handed out (all pools, all
+// node types).  One relaxed RMW per alloc/free; the bounded-RSS test
+// asserts this stays O(live keys) under an update-only churn.
+inline std::atomic<std::int64_t>& outstanding_cell() {
+  static std::atomic<std::int64_t> c{0};
+  return c;
+}
+}  // namespace detail
+
+inline Stats stats() { return detail::tl_stats; }
+inline void reset_stats() { detail::tl_stats = Stats{}; }
+
+// Live (handed-out, not yet freed) cells across every pool.
+inline std::int64_t outstanding_blocks() {
+  return detail::outstanding_cell().load(std::memory_order_relaxed);
+}
+
+template <typename T>
+class NodePool {
+  static_assert(alignof(T) <= kCacheLine,
+                "pool slabs are aligned to one cache line");
+
+ public:
+  static NodePool& instance() {
+    static NodePool p;
+    return p;
+  }
+
+  // Allocate a cell and construct a T in it.
+  template <typename... Args>
+  T* create(Args&&... args) {
+    void* cell = alloc_cell();
+    ++detail::tl_stats.allocs;
+    detail::outstanding_cell().fetch_add(1, std::memory_order_relaxed);
+    return ::new (cell) T(std::forward<Args>(args)...);
+  }
+
+  // Destroy a T and return its cell to the calling thread's free list.
+  void destroy(T* p) {
+    p->~T();
+    auto* cell = reinterpret_cast<FreeCell*>(p);
+    Shard& sh = shards_[ds::thread_slot()];
+    cell->next = sh.free;
+    sh.free = cell;
+    detail::outstanding_cell().fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Slabs allocated so far (monotone; slabs are retained for reuse).
+  std::size_t slab_count() {
+    std::lock_guard<std::mutex> lock(slabs_mu_);
+    return slabs_.size();
+  }
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+ private:
+  struct FreeCell {
+    FreeCell* next;
+  };
+
+  // Cell size keeps successive bump allocations correctly aligned and
+  // large enough to overlay the free-list link on dead cells.  Cells
+  // are padded to a full cache line: the structures pwb the lines their
+  // nodes live on, and clflush *evicts* — packing several live nodes
+  // per line would make every persisted update evict its neighbours
+  // (and false-share their CAS targets).  Line-granular cells are what
+  // real PM allocators hand out for exactly this reason.
+  static constexpr std::size_t kAlign =
+      alignof(T) > alignof(FreeCell) ? alignof(T) : alignof(FreeCell);
+  static constexpr std::size_t kPayloadBytes =
+      ((sizeof(T) > sizeof(FreeCell) ? sizeof(T) : sizeof(FreeCell)) +
+       kAlign - 1) /
+      kAlign * kAlign;
+  static constexpr std::size_t kCellBytes =
+      (kPayloadBytes + kCacheLine - 1) / kCacheLine * kCacheLine;
+  static_assert(kCellBytes <= kSlabBytes,
+                "node type larger than one pool slab");
+
+  struct alignas(kCacheLine) Shard {
+    FreeCell* free = nullptr;    // recycled cells, LIFO (cache-hot first)
+    std::byte* bump = nullptr;   // next fresh cell in the current slab
+    std::byte* bump_end = nullptr;
+  };
+
+  NodePool() = default;
+
+  ~NodePool() {
+    // Process exit: return the slabs.  Nothing dereferences pool memory
+    // during static destruction (structures are all function-scoped and
+    // limbo lists only hold pointers, never touch them).
+    for (void* s : slabs_) {
+      ::operator delete(s, std::align_val_t{kCacheLine});
+    }
+  }
+
+  void* alloc_cell() {
+    Shard& sh = shards_[ds::thread_slot()];
+    if (sh.free != nullptr) {
+      FreeCell* cell = sh.free;
+      sh.free = cell->next;
+      ++detail::tl_stats.reuses;
+      return cell;
+    }
+    if (static_cast<std::size_t>(sh.bump_end - sh.bump) < kCellBytes) {
+      auto* slab = static_cast<std::byte*>(
+          ::operator new(kSlabBytes, std::align_val_t{kCacheLine}));
+      {
+        std::lock_guard<std::mutex> lock(slabs_mu_);
+        slabs_.push_back(slab);
+      }
+      sh.bump = slab;
+      sh.bump_end = slab + kSlabBytes;
+    }
+    std::byte* cell = sh.bump;
+    sh.bump += kCellBytes;
+    return cell;
+  }
+
+  Shard shards_[ds::kMaxThreads];
+  std::mutex slabs_mu_;
+  std::vector<void*> slabs_;
+};
+
+}  // namespace repro::mem

@@ -1,18 +1,34 @@
 // Simulated persistent-memory primitive layer.
 //
 // The paper's model (Izraelevitz et al. explicit epoch persistency) has
-// three instructions: pwb (persist write-back / flush of one cache line),
-// pfence (order pwbs against later stores), and psync (block until all
-// earlier pwbs are durable).  On emulated NVRAM the real x86 instructions
-// are executed so that their latency is paid; the paper additionally
-// evaluates a private-cache model (persistence instructions free) and
-// instruction-count experiments (Figures 1b/1c, 5, 6) where only the
-// counts matter.  Mode selects between these three behaviours; every
-// call is tallied in thread-local counters either way, which is what
-// feeds barriers_per_op / flushes_per_op / psyncs_per_op in the harness.
+// three instructions: pwb (persist write-back / flush of one cache
+// line), pfence (order pwbs against later stores), and psync (block
+// until all earlier pwbs are durable).  On emulated NVRAM the real x86
+// instructions are executed so that their latency is paid; the paper
+// additionally evaluates a private-cache model (persistence
+// instructions free) and instruction-count experiments (Figures 1b/1c,
+// 5, 6) where only the counts matter.  Mode selects between these three
+// behaviours; every call is tallied in thread-local counters either
+// way, which is what feeds barriers_per_op / flushes_per_op /
+// psyncs_per_op in the harness.
+//
+// pwb coalescing: two pwbs of the same cache line with no pfence in
+// between are redundant — the line's contents persist once, at the
+// fence, either way.  This generalises the paper's read-only
+// optimisation (which elides provably-redundant persistence work) to
+// every duplicate flush in a fence window.  flush() therefore records
+// pending lines in a small per-thread buffer and executes the actual
+// write-backs at the next fence()/psync(); a duplicate line in the
+// window is elided entirely and tallied in Counters::coalesced, so the
+// harness can report the elision rate (coalesced_pwb_per_op) next to
+// the raw pwb count the figures plot.  Deferral is exact, not
+// approximate: the line is flushed at the fence with all stores of the
+// window already in cache.  Counters::flushes keeps counting *issued*
+// pwbs, so the paper's per-op instruction counts are unchanged.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -39,11 +55,26 @@ inline std::atomic<Mode>& mode_cell() {
   static std::atomic<Mode> m{Mode::shared_cache};
   return m;
 }
+
+inline std::atomic<bool>& coalescing_cell() {
+  static std::atomic<bool> c{true};
+  return c;
+}
 }  // namespace detail
 
 inline Mode mode() { return detail::mode_cell().load(std::memory_order_relaxed); }
 inline void set_mode(Mode m) {
   detail::mode_cell().store(m, std::memory_order_relaxed);
+}
+
+// Whether duplicate pwbs of one cache line are elided between fences.
+// On by default; tests and ablations can switch it off to recover the
+// seed's flush-immediately behaviour.
+inline bool coalescing() {
+  return detail::coalescing_cell().load(std::memory_order_relaxed);
+}
+inline void set_coalescing(bool on) {
+  detail::coalescing_cell().store(on, std::memory_order_relaxed);
 }
 
 // Scoped mode switch used by the figure benches.
@@ -62,23 +93,57 @@ class ModeGuard {
 // snapshots these around a measured interval and normalises by the
 // operation count.
 struct Counters {
-  std::uint64_t flushes = 0;  // pwb
-  std::uint64_t fences = 0;   // pfence (the paper's "pbarrier")
-  std::uint64_t psyncs = 0;   // psync
+  std::uint64_t flushes = 0;    // pwb (as issued by the algorithm)
+  std::uint64_t fences = 0;     // pfence (the paper's "pbarrier")
+  std::uint64_t psyncs = 0;     // psync
+  std::uint64_t coalesced = 0;  // pwbs elided by same-line coalescing
 
   Counters& operator+=(const Counters& o) {
     flushes += o.flushes;
     fences += o.fences;
     psyncs += o.psyncs;
+    coalesced += o.coalesced;
     return *this;
   }
   Counters operator-(const Counters& o) const {
-    return {flushes - o.flushes, fences - o.fences, psyncs - o.psyncs};
+    return {flushes - o.flushes, fences - o.fences, psyncs - o.psyncs,
+            coalesced - o.coalesced};
   }
 };
 
 namespace detail {
 inline thread_local Counters tl_counters{};
+
+inline constexpr std::size_t kFlushLineMask = ~std::uintptr_t{63};
+inline constexpr std::size_t kFlushBufLines = 8;
+
+// The per-thread coalescing window: cache lines with a pwb pending
+// since the last fence.  Membership is tracked in every mode so the
+// coalesced tally stays deterministic (Figures 1b/1c style); the
+// write-backs themselves only execute in shared_cache mode.
+struct FlushBuffer {
+  std::uintptr_t lines[kFlushBufLines];
+  std::size_t n = 0;
+};
+inline thread_local FlushBuffer tl_flushbuf{};
+
+inline void exec_flush(std::uintptr_t line) {
+  if (mode() == Mode::shared_cache) {
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_clflush(reinterpret_cast<const void*>(line));
+#else
+    (void)line;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+}
+
+// Execute and clear every pending write-back of this thread's window.
+inline void drain_flush_buffer() {
+  FlushBuffer& b = tl_flushbuf;
+  for (std::size_t i = 0; i < b.n; ++i) exec_flush(b.lines[i]);
+  b.n = 0;
+}
 }  // namespace detail
 
 inline Counters counters() { return detail::tl_counters; }
@@ -86,25 +151,39 @@ inline void reset_counters() { detail::tl_counters = Counters{}; }
 
 // pwb: write back the cache line holding addr.  clflush is used rather
 // than clwb/clflushopt so the binary runs on any x86-64; the cost model
-// is pessimistic by a constant factor, which affects absolute throughput
-// but not the algorithm ranking the paper reports.
+// is pessimistic by a constant factor, which affects absolute
+// throughput but not the algorithm ranking the paper reports.  With
+// coalescing on, the write-back is deferred to the next fence and
+// same-line duplicates in the window are elided.
 inline void flush(const void* addr) {
   ++detail::tl_counters.flushes;
-  if (mode() == Mode::shared_cache) {
-#if defined(__x86_64__) || defined(_M_X64)
-    _mm_clflush(addr);
-#else
-    (void)addr;
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-#endif
+  const auto line =
+      reinterpret_cast<std::uintptr_t>(addr) & detail::kFlushLineMask;
+  if (coalescing()) {
+    detail::FlushBuffer& b = detail::tl_flushbuf;
+    for (std::size_t i = 0; i < b.n; ++i) {
+      if (b.lines[i] == line) {
+        ++detail::tl_counters.coalesced;  // duplicate in the window
+        return;
+      }
+    }
+    if (b.n < detail::kFlushBufLines) {
+      b.lines[b.n++] = line;  // deferred to the next fence
+      return;
+    }
+    // Window full: fall through and execute immediately (uncoalesced),
+    // matching the seed's behaviour for the overflow.
   }
+  detail::exec_flush(line);
 }
 
 inline void pwb(const void* addr) { flush(addr); }
 
-// pfence: order preceding pwbs before subsequent stores.
+// pfence: order preceding pwbs before subsequent stores.  Pending
+// coalesced write-backs execute here, at the window boundary.
 inline void fence() {
   ++detail::tl_counters.fences;
+  detail::drain_flush_buffer();
   if (mode() == Mode::shared_cache) {
 #if defined(__x86_64__) || defined(_M_X64)
     _mm_sfence();
@@ -117,6 +196,7 @@ inline void fence() {
 // psync: drain — all earlier pwbs are durable once it returns.
 inline void psync() {
   ++detail::tl_counters.psyncs;
+  detail::drain_flush_buffer();
   if (mode() == Mode::shared_cache) {
 #if defined(__x86_64__) || defined(_M_X64)
     _mm_sfence();
@@ -144,8 +224,24 @@ class persist {
   void store(T v, std::memory_order mo = std::memory_order_release) {
     cell_.store(v, mo);
   }
-  bool cas(T& expected, T desired) {
-    return cell_.compare_exchange_strong(expected, desired);
+
+  // The defaults publish on success and observe on failure — the
+  // strongest ordering any caller in ds/ actually needs; the previous
+  // implicit seq_cst on every retry bought nothing.
+  bool cas(T& expected, T desired,
+           std::memory_order success = std::memory_order_acq_rel,
+           std::memory_order failure = std::memory_order_acquire) {
+    return cell_.compare_exchange_strong(expected, desired, success,
+                                         failure);
+  }
+
+  // Spurious-failure-tolerant variant for retry loops that re-issue the
+  // CAS anyway (cheaper than cas on LL/SC architectures).
+  bool cas_weak(T& expected, T desired,
+                std::memory_order success = std::memory_order_acq_rel,
+                std::memory_order failure = std::memory_order_acquire) {
+    return cell_.compare_exchange_weak(expected, desired, success,
+                                       failure);
   }
 
   // Store then immediately write the line back.

@@ -56,8 +56,9 @@ TEST(Registry, TraitSelectionMatchesPaperSeries) {
 TEST(Registry, GlobSelection) {
   const Registry& reg = Registry::instance();
   const auto isbs = reg.select("Isb*");
-  // Isb, Isb-Opt, Isb-noROopt, Isb-Opt-noROopt, Isb-Queue, Isb-Exchanger
-  EXPECT_EQ(isbs.size(), 6u);
+  // Isb, Isb-Opt, Isb-noROopt, Isb-Opt-noROopt, Isb-Queue,
+  // Isb-Exchanger, Isb-leak (the no-reclaim ablation)
+  EXPECT_EQ(isbs.size(), 7u);
   // Isb-Queue, Log-Queue, MS-Queue
   EXPECT_EQ(reg.select("*-Queue").size(), 3u);
   EXPECT_TRUE(glob_match("*Queue", "MS-Queue"));
@@ -190,6 +191,10 @@ ResultRow golden_row() {
   row.run.flushes_per_op = 2.25;
   row.run.barriers_per_op = 1.5;
   row.run.psyncs_per_op = 1;
+  row.run.coalesced_pwb_per_op = 0.25;
+  row.run.allocs_per_op = 0.75;
+  row.run.retired_per_op = 0.5;
+  row.run.reuse_ratio = 0.95;
   row.run.threads = 2;
   row.run.point_index = 7;
   return row;
@@ -203,9 +208,10 @@ TEST(Sinks, CsvGolden) {
       os.str(),
       "point_index,figure,algo,mode,dist,key_range,mix,threads,seconds,"
       "total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,psync_per_op,"
+      "coalesced_pwb_per_op,allocs_per_op,retired_per_op,reuse_ratio,"
       "recovery_us\n"
       "7,figX,Algo,count_only,uniform,500,read-intensive,2,0.5,1000,2000,"
-      "2.25,1.5,1,\n");
+      "2.25,1.5,1,0.25,0.75,0.5,0.95,\n");
 }
 
 TEST(Sinks, JsonlGolden) {
@@ -218,7 +224,9 @@ TEST(Sinks, JsonlGolden) {
       "\"mode\":\"count_only\",\"dist\":\"uniform\",\"key_range\":500,"
       "\"mix\":\"read-intensive\",\"threads\":2,\"seconds\":0.5,"
       "\"total_ops\":1000,\"ops_per_sec\":2000,\"pwb_per_op\":2.25,"
-      "\"pbarrier_per_op\":1.5,\"psync_per_op\":1}\n");
+      "\"pbarrier_per_op\":1.5,\"psync_per_op\":1,"
+      "\"coalesced_pwb_per_op\":0.25,\"allocs_per_op\":0.75,"
+      "\"retired_per_op\":0.5,\"reuse_ratio\":0.95}\n");
 }
 
 TEST(Sinks, JsonlIncludesRecoveryLatencyWhenSet) {

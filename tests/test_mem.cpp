@@ -1,0 +1,310 @@
+// The memory subsystem: pool slab alignment and reuse accounting, EBR
+// grace-period correctness under both a deterministic pin and a
+// concurrent retire/reuse stress (canary values catch premature
+// reclamation; TSan/ASan catch it as a race/use-after-free), the
+// bounded-RSS property an update-only churn must keep, pwb coalescing
+// windows, and recover() safety on descriptors whose nodes were
+// pool-recycled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "repro/ds/detectable.hpp"
+#include "repro/ds/isb_list.hpp"
+#include "repro/harness/runner.hpp"
+#include "repro/harness/workload.hpp"
+#include "repro/mem/ebr.hpp"
+#include "repro/mem/pool.hpp"
+#include "repro/pmem/persist.hpp"
+
+namespace {
+
+using repro::mem::EbrReclaimer;
+using repro::mem::EpochDomain;
+using repro::mem::kCacheLine;
+using repro::mem::NodePool;
+using repro::mem::outstanding_blocks;
+using repro::mem::Stats;
+
+constexpr std::uint64_t kAlive = 0xA11CEull;  // not 8-aligned: can never
+                                              // collide with a free-list
+                                              // pointer overlaying the cell
+
+// Canary node: constructed alive, its destructor marks the cell dead —
+// a reader holding an epoch guard must never observe anything but
+// kAlive through a pointer it loaded while pinned.
+struct CanaryNode {
+  explicit CanaryNode(std::uint64_t v) : value(v) {}
+  ~CanaryNode() { value.store(0xDEADull, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> value;
+};
+
+// Separate type so alignment assertions get their own pool.
+struct alignas(64) WideNode {
+  explicit WideNode(int v) : tag(v) {}
+  int tag;
+  char pad[60];
+};
+
+TEST(Pool, SlabAlignmentAndDistinctCells) {
+  auto& pool = NodePool<WideNode>::instance();
+  constexpr int kN = 300;  // spans more than one 64 KiB slab
+  std::vector<WideNode*> nodes;
+  for (int i = 0; i < kN; ++i) nodes.push_back(pool.create(i));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(nodes[i]) % 64, 0u)
+        << "cell " << i << " violates alignas(64)";
+    EXPECT_EQ(nodes[i]->tag, i);
+    for (int j = i + 1; j < kN; ++j) EXPECT_NE(nodes[i], nodes[j]);
+  }
+  EXPECT_GE(pool.slab_count(), 1u);
+  for (WideNode* n : nodes) pool.destroy(n);
+}
+
+TEST(Pool, ReuseAccountingAndOutstanding) {
+  auto& pool = NodePool<CanaryNode>::instance();
+  const Stats s0 = repro::mem::stats();
+  const std::int64_t out0 = outstanding_blocks();
+  constexpr int kN = 500;
+
+  std::vector<CanaryNode*> nodes;
+  for (int i = 0; i < kN; ++i) nodes.push_back(pool.create(kAlive));
+  EXPECT_EQ(repro::mem::stats().allocs, s0.allocs + kN);
+  EXPECT_EQ(outstanding_blocks(), out0 + kN);
+
+  for (CanaryNode* n : nodes) pool.destroy(n);
+  EXPECT_EQ(outstanding_blocks(), out0);
+
+  // A second wave must be served entirely from the free list.
+  nodes.clear();
+  for (int i = 0; i < kN; ++i) nodes.push_back(pool.create(kAlive));
+  EXPECT_GE(repro::mem::stats().reuses, s0.reuses + kN);
+  EXPECT_EQ(repro::mem::stats().allocs, s0.allocs + 2 * kN);
+  for (CanaryNode* n : nodes) pool.destroy(n);
+}
+
+TEST(Ebr, GracePeriodBlocksReclaimWhilePinned) {
+  EpochDomain& dom = EpochDomain::instance();
+  dom.quiesce();
+  ASSERT_EQ(dom.limbo_size(), 0u);
+
+  CanaryNode* n = NodePool<CanaryNode>::instance().create(kAlive);
+  {
+    EpochDomain::Guard guard;
+    EbrReclaimer::retire<CanaryNode>(n);
+    EXPECT_EQ(dom.limbo_size(), 1u);
+    // With this thread pinned, the epoch can advance at most once, so
+    // the retired node's two-epoch grace period cannot elapse.
+    for (int i = 0; i < 10; ++i) dom.try_advance();
+    EXPECT_EQ(dom.limbo_size(), 1u);
+    EXPECT_EQ(n->value.load(std::memory_order_relaxed), kAlive)
+        << "node reclaimed while a guard was pinned";
+  }
+  // Unpinned: the grace period can be forced to elapse.
+  const Stats before = repro::mem::stats();
+  dom.quiesce();
+  EXPECT_EQ(dom.limbo_size(), 0u);
+  EXPECT_EQ(repro::mem::stats().reclaims, before.reclaims + 1);
+}
+
+// Writers publish fresh canary nodes into a shared slot and retire what
+// they displace; pinned readers must only ever observe live cells.
+// Premature reclamation shows up as a dead canary here, and as a data
+// race / use-after-free under the TSan and ASan CI jobs (the free-list
+// link is written over the canary word).
+TEST(Ebr, ConcurrentRetireReuseStress) {
+  std::atomic<CanaryNode*> slot{
+      NodePool<CanaryNode>::instance().create(kAlive)};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reclaims{0};
+
+  std::vector<std::thread> ws;
+  for (int w = 0; w < 2; ++w) {
+    ws.emplace_back([&] {
+      const Stats s0 = repro::mem::stats();
+      for (int i = 0; i < 30000; ++i) {
+        EpochDomain::Guard guard;
+        CanaryNode* fresh = NodePool<CanaryNode>::instance().create(kAlive);
+        CanaryNode* old = slot.exchange(fresh, std::memory_order_acq_rel);
+        EbrReclaimer::retire<CanaryNode>(old);
+      }
+      reclaims.fetch_add(repro::mem::stats().reclaims - s0.reclaims);
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    ws.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochDomain::Guard guard;
+        CanaryNode* p = slot.load(std::memory_order_acquire);
+        ASSERT_EQ(p->value.load(std::memory_order_relaxed), kAlive)
+            << "reader observed a reclaimed cell";
+      }
+    });
+  }
+  ws[0].join();
+  ws[1].join();
+  stop.store(true, std::memory_order_release);
+  ws[2].join();
+  ws[3].join();
+
+  // Reclamation genuinely ran (nodes cycled through limbo back to the
+  // pool), it just never outran a pinned reader.
+  EXPECT_GT(reclaims.load(), 0u);
+  EbrReclaimer::destroy<CanaryNode>(
+      slot.load(std::memory_order_acquire));
+}
+
+// The leak ablation keeps the seed's semantics: counted, never
+// recycled.
+TEST(Ebr, LeakReclaimerCountsButNeverReclaims) {
+  using repro::mem::LeakReclaimer;
+  const Stats s0 = repro::mem::stats();
+  auto* n = LeakReclaimer::create<CanaryNode>(kAlive);
+  LeakReclaimer::retire<CanaryNode>(n);
+  const Stats d = repro::mem::stats() - s0;
+  EXPECT_EQ(d.allocs, 1u);
+  EXPECT_EQ(d.retires, 1u);
+  EXPECT_EQ(d.reuses, 0u);
+  EXPECT_EQ(d.reclaims, 0u);
+  delete n;  // the test cleans up what the ablation would leak
+}
+
+// Update-only churn: the live-cell count must stay O(key range), not
+// O(operations) — the property the seed's leak-everything allocation
+// lacked.  Single-threaded so the grace-period cadence is
+// deterministic: the epoch advances every kAdvanceEvery retires, so
+// limbo never holds more than a few advance windows.  (Multi-threaded
+// reclamation progress is covered by ConcurrentRetireReuseStress; its
+// residue depends on the host's scheduling, an oversubscribed box can
+// park a scheduling round's worth of retires in limbo.)
+TEST(Ebr, BoundedRssUnderUpdateOnlyChurn) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  EpochDomain::instance().quiesce();
+  const std::int64_t out0 = outstanding_blocks();
+  constexpr int kOps = 100000;  // ~50k inserts: the leak's RSS shape
+  constexpr std::int64_t kRange = 128;
+  {
+    repro::ds::IsbList list;
+    std::mt19937 rng(77u);
+    for (int i = 0; i < kOps; ++i) {
+      const std::int64_t k = 1 + static_cast<std::int64_t>(rng() % kRange);
+      if (rng() % 2 == 0) {
+        list.insert(k);
+      } else {
+        list.erase(k);
+      }
+    }
+    // Live cells: the list itself (<= range + sentinels) plus at most a
+    // few advance windows of limbo — three orders of magnitude under
+    // the ~50k cells a leak would hold here.
+    EXPECT_LT(outstanding_blocks() - out0, 2000);
+  }
+  // Structure destroyed and this thread's limbo drained: every cell is
+  // back in the pools.
+  EpochDomain::instance().quiesce();
+  EXPECT_LT(outstanding_blocks() - out0, 100);
+}
+
+// The run_threads accounting: allocs/retires per op and the reuse ratio
+// reach the RunResult the sinks emit.
+TEST(Harness, RunThreadsReportsMemoryMetrics) {
+  setenv("REPRO_BENCH_MS", "60", 1);
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  repro::ds::IsbList list;
+  const repro::harness::Workload w(64, repro::harness::kUpdateOnly);
+  const auto r = repro::harness::run_threads(
+      2, [&](int, repro::harness::Rng& rng) {
+        const auto key = w.pick_key(rng);
+        if (w.pick_op(rng) == repro::harness::OpType::insert) {
+          list.insert(key);
+        } else {
+          list.erase(key);
+        }
+      });
+  unsetenv("REPRO_BENCH_MS");
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.allocs_per_op, 0.0);
+  EXPECT_GT(r.retired_per_op, 0.0);
+  // Churn over a small range recycles cells; the exact ratio depends
+  // on how often the host's scheduler lets grace periods elapse during
+  // the short interval (the bench trajectory tracks the steady-state
+  // value), so this only pins that recycling reached the accounting.
+  EXPECT_GT(r.reuse_ratio, 0.0);
+  EXPECT_LE(r.reuse_ratio, 1.0);
+}
+
+// pwb coalescing: duplicates of one line inside a fence window are
+// elided and tallied; a fence opens a new window; the raw pwb count
+// (what the figures plot) is never affected.
+TEST(Coalescing, SameLineDuplicatesElideWithinFenceWindow) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  repro::pmem::fence();  // clear any window left by earlier tests
+  alignas(64) char buf[256];
+  const auto c0 = repro::pmem::counters();
+  repro::pmem::flush(buf);       // first touch: buffered
+  repro::pmem::flush(buf + 8);   // same line: elided
+  repro::pmem::flush(buf + 63);  // same line: elided
+  repro::pmem::flush(buf + 64);  // second line: buffered
+  auto d = repro::pmem::counters() - c0;
+  EXPECT_EQ(d.flushes, 4u);
+  EXPECT_EQ(d.coalesced, 2u);
+
+  repro::pmem::fence();          // window boundary
+  repro::pmem::flush(buf);       // fresh window: not a duplicate
+  d = repro::pmem::counters() - c0;
+  EXPECT_EQ(d.flushes, 5u);
+  EXPECT_EQ(d.coalesced, 2u);
+  repro::pmem::fence();
+}
+
+TEST(Coalescing, OverflowFallsBackToImmediateAndToggleDisables) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  repro::pmem::fence();
+  alignas(64) char buf[64 * 12];
+  const auto c0 = repro::pmem::counters();
+  // More distinct lines than the window holds: the overflow executes
+  // immediately, nothing is mis-counted as coalesced.
+  for (int i = 0; i < 12; ++i) repro::pmem::flush(buf + 64 * i);
+  // A line that made it into the window still coalesces.
+  repro::pmem::flush(buf);
+  auto d = repro::pmem::counters() - c0;
+  EXPECT_EQ(d.flushes, 13u);
+  EXPECT_EQ(d.coalesced, 1u);
+  repro::pmem::fence();
+
+  repro::pmem::set_coalescing(false);
+  const auto c1 = repro::pmem::counters();
+  repro::pmem::flush(buf);
+  repro::pmem::flush(buf);  // duplicate, but coalescing is off
+  d = repro::pmem::counters() - c1;
+  repro::pmem::set_coalescing(true);
+  EXPECT_EQ(d.flushes, 2u);
+  EXPECT_EQ(d.coalesced, 0u);
+}
+
+// Satellite: recover() reads the announcement board, which is never
+// pool-allocated — recycling the nodes an operation touched must not
+// disturb what a crashed thread would learn.
+TEST(Recovery, RecoverSafeAfterNodesRecycled) {
+  repro::pmem::ModeGuard guard(repro::pmem::Mode::count_only);
+  repro::ds::IsbList list;
+  const int slot = repro::ds::thread_slot();
+
+  ASSERT_TRUE(list.insert(7));
+  ASSERT_TRUE(list.erase(7));  // unlinks and retires the node
+  EpochDomain::instance().quiesce();  // cell is back in the pool
+  ASSERT_TRUE(list.insert(8));        // very likely reuses that cell
+
+  const repro::ds::Recovered rec = list.recover(slot);
+  EXPECT_TRUE(rec.completed);
+  EXPECT_EQ(rec.kind, repro::ds::OpKind::insert);
+  EXPECT_EQ(rec.key, 8);
+  EXPECT_TRUE(rec.ok);
+}
+
+}  // namespace

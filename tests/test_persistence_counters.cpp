@@ -133,4 +133,27 @@ TEST(PersistenceCounters, PersistWordHelpers) {
   EXPECT_EQ(c.fences, 1u);
 }
 
+TEST(PersistenceCounters, PersistCasAndCasWeak) {
+  repro::pmem::persist<std::uint64_t> w{5};
+  std::uint64_t expected = 4;
+  EXPECT_FALSE(w.cas(expected, 9));
+  EXPECT_EQ(expected, 5u);  // failure loads the observed value
+  EXPECT_TRUE(w.cas(expected, 9));
+  EXPECT_EQ(w.load(), 9u);
+
+  // cas_weak may fail spuriously but must succeed in a retry loop and
+  // never lose the expected-value contract.
+  expected = 9;
+  while (!w.cas_weak(expected, 12)) {
+    EXPECT_EQ(expected, 9u);
+  }
+  EXPECT_EQ(w.load(), 12u);
+
+  // Explicit orders are accepted (the satellite API surface).
+  expected = 12;
+  EXPECT_TRUE(w.cas(expected, 13, std::memory_order_seq_cst,
+                    std::memory_order_relaxed));
+  EXPECT_EQ(w.load(), 13u);
+}
+
 }  // namespace
