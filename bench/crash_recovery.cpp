@@ -1,17 +1,56 @@
-// Crash-recovery scenario (the paper's Section 2 correctness property,
-// exercised dynamically): run the normal workload, stop the workers at
-// the crash point with one operation in flight per thread, replay every
-// thread's AnnouncementBoard::recover(), and verify detectability —
-// each interrupted thread learns either completed-with-response or
-// not-applied for its last operation.  The recover() replay wall time
-// is reported as recovery latency (the `recover=` suffix in the table,
-// `recovery_us` in CSV/JSON rows).  Any detectability violation makes
-// the binary exit non-zero, which the ctest smoke test turns into a
-// failure.
+// Crash engine driver: three specs over the shared experiment engine.
+//
+//   crash-fuzz       — the crash-point fuzzer (harness/crashfuzz.hpp)
+//                      over every registered trait:detectable
+//                      structure: REPRO_FUZZ_POINTS simulated crashes
+//                      per structure at PRNG-chosen persistence-
+//                      instruction boundaries under shadow-NVM mode,
+//                      each verified against the detectability
+//                      contract.  Any violation makes the binary exit
+//                      non-zero (the ctest / CI gate) and writes the
+//                      {structure, seed, crash_point} reproducers to
+//                      REPRO_CRASH_REPRO (default crash_repro.jsonl).
+//   crash-lists/-q   — the PR2 wall-clock crash scenario kept as a
+//                      regression point: multi-threaded workload,
+//                      crash at an operation boundary, recover()
+//                      replay per thread.
+//   shadow-overhead  — shadow-mode tracking cost vs. count_only for
+//                      the Isb list and queue at 1 and 8 threads (the
+//                      BENCH_PR4.json perf-smoke trajectory).
+//
+// Replaying a CI-reported reproducer (use its base_seed field):
+//   REPRO_SEED=<base_seed> REPRO_FUZZ_POINTS=<points> ./crash_recovery \
+//     --benchmark_filter='^crash-fuzz/<structure>/'
+// reruns the exact iteration sequence (iteration seeds derive from
+// {REPRO_SEED, iteration}); tests/test_crash_engine.cpp shows the
+// single-iteration fuzz_one() replay of one {seed, crash_point} pair.
+#include <cstdlib>
+
 #include "bench_common.hpp"
+
+namespace {
+
+int env_points(int fallback) {
+  if (const char* v = std::getenv("REPRO_FUZZ_POINTS")) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<int>(parsed);
+  }
+  return fallback;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace repro::harness;
+
+  ExperimentSpec fuzz;
+  fuzz.figure = "crash-fuzz";
+  fuzz.what =
+      "shadow-NVM crash-point fuzzing, detectability verified per "
+      "crash";
+  fuzz.structures = {"trait:detectable"};
+  fuzz.crash_plan.points = env_points(200);
+
   ExperimentSpec lists;
   lists.figure = "crash-lists";
   lists.what = "detectable recovery after a mid-interval crash (lists)";
@@ -25,5 +64,18 @@ int main(int argc, char** argv) {
   queues.what = "detectable recovery after a mid-interval crash (queues)";
   queues.structures = {"trait:paper-queue"};  // non-detectable are skipped
 
-  return repro::bench::experiment_main(argc, argv, {lists, queues});
+  ExperimentSpec overhead;
+  overhead.figure = "shadow-overhead";
+  overhead.what =
+      "shadow-NVM write-log tracking cost vs count_only (Isb list & "
+      "queue)";
+  overhead.structures = {"Isb", "Isb-Queue"};
+  overhead.key_ranges = {500};
+  overhead.mixes = {kUpdateIntensive};
+  overhead.threads = {1, 8};
+  overhead.modes = {repro::pmem::Mode::count_only,
+                    repro::pmem::Mode::shadow};
+
+  return repro::bench::experiment_main(argc, argv,
+                                       {fuzz, lists, queues, overhead});
 }

@@ -140,7 +140,9 @@ class AnnouncementBoard {
 //   optimized — the announcement write stays in the store buffer (a
 //               crash before the structure's durable CAS makes the op a
 //               no-op either way, so persisting it early is redundant);
-//               only the commit is flushed: 1 pwb + 1 pfence + 1 psync.
+//               only the commit is flushed, with a leading pfence that
+//               orders the structure's pending write-backs before the
+//               "done" record: 1 pwb + 2 pfence + 1 psync.
 //
 // Structure-specific pwbs (the modified link, the new node) are issued
 // by the caller between announce and commit.
@@ -159,8 +161,18 @@ class DetectableOp {
     }
   }
 
-  // Record the response and make the whole operation durable.
+  // Record the response and make the whole operation durable.  The
+  // effect must be durable before the "done" record is: the general
+  // profile got that ordering from the pfence its policy issues after
+  // every structural update, but the optimized placement leaves the
+  // structure's pwbs pending, so an adversarial crash (shadow-NVM
+  // mode, unordered write-backs) could persist the response while
+  // losing the effect — a detectability violation the crash fuzzer
+  // finds immediately.  The leading pfence closes that window.
   void commit(bool ok, std::uint64_t result) {
+    if (persisted_ && profile_ == PersistProfile::optimized) {
+      pmem::fence();
+    }
     d_.ok.store(ok ? 1 : 0);
     d_.result.store(result);
     d_.status.store(static_cast<std::uint64_t>(OpStatus::done));
@@ -193,6 +205,7 @@ class DetectableOp {
 struct NullPolicy {
   void op_start(OpKind, std::int64_t, bool) {}
   void visit(const void*, bool) {}
+  void pre_publish(const void*) {}
   void pre_cas(const void*) {}
   void post_update(const void*, const void*) {}
   void op_end(bool, std::uint64_t, bool) {}

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "repro/ds/detectable.hpp"
 #include "repro/mem/ebr.hpp"
@@ -40,11 +41,17 @@
 namespace repro::ds {
 
 // One list cell; shared by every policy instantiation so all Harris
-// variants draw from (and recycle into) the same node pool.
+// variants draw from (and recycle into) the same node pool.  The link
+// is a pmem::persist word: it is the state the persistence policies
+// flush, so in shadow-NVM mode its mutations route through the
+// write-log and a simulated crash can rewind it to the durable image.
+// Construction is not logged (a node's initial fields model its state
+// before it was ever published); outside shadow mode persist<> is a
+// plain atomic.
 struct ListNode {
   ListNode(std::int64_t k, ListNode* n) : key(k), next(n) {}
   std::int64_t key;
-  std::atomic<ListNode*> next;
+  pmem::persist<ListNode*> next;
 };
 
 template <typename Policy, typename Reclaimer = mem::EbrReclaimer>
@@ -96,11 +103,12 @@ class HarrisListCore {
         node = Reclaimer::template create<Node>(key, nullptr);
       }
       node->next.store(right, std::memory_order_relaxed);
+      // Persist the initialised node before any durable link to it can
+      // exist (see the policies' pre_publish contract).
+      policy_.pre_publish(node);
       policy_.pre_cas(&left->next);
       Node* expected = right;
-      if (left->next.compare_exchange_strong(expected, node,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_acquire)) {
+      if (left->next.cas(expected, node)) {
         policy_.post_update(&left->next, node);
         ok = true;
         break;
@@ -129,17 +137,13 @@ class HarrisListCore {
         policy_.pre_cas(&right->next);
         Node* expected = right_next;
         // Logical deletion: set the mark bit on right's next pointer.
-        if (right->next.compare_exchange_strong(
-                expected, mark(right_next), std::memory_order_acq_rel,
-                std::memory_order_acquire)) {
+        if (right->next.cas(expected, mark(right_next))) {
           policy_.post_update(&right->next, nullptr);
           // Best-effort physical unlink; search() will finish the job
           // if this fails.
           policy_.pre_cas(&left->next);
           Node* expl = right;
-          if (left->next.compare_exchange_strong(
-                  expl, right_next, std::memory_order_acq_rel,
-                  std::memory_order_acquire)) {
+          if (left->next.cas(expl, right_next)) {
             policy_.post_update(&left->next, nullptr);
             // This CAS (uniquely) unlinked right: it is ours to retire.
             Reclaimer::template retire<Node>(right);
@@ -161,6 +165,30 @@ class HarrisListCore {
     const bool ok = (right != tail_ && right->key == key);
     policy_.op_end(ok, ok ? 1 : 0, true);
     return ok;
+  }
+
+  // Crash-time enumeration for the crash engine: collects the logical
+  // (unmarked) keys reachable from head_, in order.  After a simulated
+  // crash the links physically hold the durable image, so an ordinary
+  // traversal reads durable truth — but a detectability bug can leave
+  // a durable link into memory that was never durably initialised, so
+  // the walk is defensive: each candidate node must be a pool cell
+  // (mem::SlabDirectory) and the walk is step-capped against cycles.
+  // Returns false — a verification failure, not UB — on any anomaly.
+  // Single-threaded: call with no concurrent mutators.
+  bool durable_keys(std::vector<std::int64_t>& out,
+                    std::size_t max_steps = 1u << 20) const {
+    out.clear();
+    Node* c = unmark(head_->next.load());
+    std::size_t steps = 0;
+    while (c != tail_) {
+      if (++steps > max_steps) return false;  // cycle / runaway chain
+      if (!mem::SlabDirectory::instance().owns(c)) return false;
+      Node* nx = c->next.load();
+      if (!is_marked(nx)) out.push_back(c->key);
+      c = unmark(nx);
+    }
+    return true;
   }
 
   // Unmarked-node count; only meaningful while no other thread mutates.
@@ -227,9 +255,7 @@ class HarrisListCore {
       // Phase 3: snip out the marked chain between left and right.
       policy_.pre_cas(&left->next);
       Node* expected = left_next;
-      if (left->next.compare_exchange_strong(expected, right,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_acquire)) {
+      if (left->next.cas(expected, right)) {
         policy_.post_update(&left->next, nullptr);
         // The snip succeeded, so this thread exclusively owns the
         // marked chain [left_next, right): retire each node once.

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "repro/ds/harris_core.hpp"
 #include "repro/ds/policies.hpp"
@@ -36,6 +37,12 @@ class IsbListT {
   // operation after a crash.
   Recovered recover(int slot) const {
     return core_.policy().board().recover(slot);
+  }
+
+  // Crash-engine enumeration of the (durable, post-crash) logical
+  // contents; see HarrisListCore::durable_keys.
+  bool snapshot_keys(std::vector<std::int64_t>& out) const {
+    return core_.durable_keys(out);
   }
 
   std::size_t size_slow() const { return core_.size_slow(); }

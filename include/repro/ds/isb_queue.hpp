@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "repro/ds/msqueue_core.hpp"
 #include "repro/ds/policies.hpp"
@@ -22,6 +23,12 @@ class IsbQueueT {
 
   Recovered recover(int slot) const {
     return core_.policy().board().recover(slot);
+  }
+
+  // Crash-engine enumeration of the (durable, post-crash) contents,
+  // front to back; see MsQueueCore::durable_values.
+  bool snapshot_values(std::vector<std::uint64_t>& out) const {
+    return core_.durable_values(out);
   }
 
  private:

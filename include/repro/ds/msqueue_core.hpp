@@ -15,8 +15,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "repro/ds/detectable.hpp"
 #include "repro/mem/ebr.hpp"
@@ -24,11 +26,13 @@
 namespace repro::ds {
 
 // One queue cell; shared by every policy instantiation so all MS-queue
-// variants draw from the same node pool.
+// variants draw from the same node pool.  Like ListNode, the link is a
+// pmem::persist word so shadow-NVM mode can rewind it to the durable
+// image on a simulated crash.
 struct QueueNode {
   QueueNode(std::uint64_t v, QueueNode* n) : value(v), next(n) {}
   std::uint64_t value;
-  std::atomic<QueueNode*> next;
+  pmem::persist<QueueNode*> next;
 };
 
 template <typename Policy, typename Reclaimer = mem::EbrReclaimer>
@@ -65,6 +69,10 @@ class MsQueueCore {
     policy_.op_start(OpKind::enqueue, static_cast<std::int64_t>(value),
                      false);
     Node* node = Reclaimer::template create<Node>(value, nullptr);
+    // Persist the initialised node before any durable link to it can
+    // exist; its fields never change afterwards, so once is enough
+    // even across CAS retries.
+    policy_.pre_publish(node);
     while (true) {
       Node* last = tail_.load(std::memory_order_acquire);
       Node* next = last->next.load(std::memory_order_acquire);
@@ -73,23 +81,17 @@ class MsQueueCore {
       if (next == nullptr) {
         policy_.pre_cas(&last->next);
         Node* expected = nullptr;
-        if (last->next.compare_exchange_strong(
-                expected, node, std::memory_order_acq_rel,
-                std::memory_order_acquire)) {
+        if (last->next.cas(expected, node)) {
           // The link CAS is the (durable) linearization point; the tail
           // swing below is volatile bookkeeping that recovery rebuilds.
           policy_.post_update(&last->next, node);
           Node* expl = last;
-          tail_.compare_exchange_strong(expl, node,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire);
+          tail_.cas(expl, node);
           break;
         }
       } else {
         Node* expl = last;  // help a stalled enqueuer
-        tail_.compare_exchange_strong(expl, next,
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire);
+        tail_.cas(expl, next);
       }
     }
     policy_.op_end(true, value, false);
@@ -111,17 +113,13 @@ class MsQueueCore {
       }
       if (first == last) {
         Node* expl = last;  // tail lagging: help
-        tail_.compare_exchange_strong(expl, next,
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire);
+        tail_.cas(expl, next);
         continue;
       }
       const std::uint64_t value = next->value;
       policy_.pre_cas(&head_);
       Node* expf = first;
-      if (head_.compare_exchange_strong(expf, next,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
+      if (head_.cas(expf, next)) {
         policy_.post_update(&head_, nullptr);
         // This CAS (uniquely) uninstalled `first` as the dummy.
         Reclaimer::template retire<Node>(first);
@@ -133,13 +131,35 @@ class MsQueueCore {
     return r;
   }
 
+  // Crash-time enumeration for the crash engine: the values reachable
+  // from the durable head (the node after the dummy onward), front to
+  // back.  Same defensive contract as HarrisListCore::durable_keys —
+  // pointer-validated against the pool directory and step-capped; the
+  // (volatile, recovery-rebuilt) tail is deliberately ignored.
+  // Single-threaded: call with no concurrent mutators.
+  bool durable_values(std::vector<std::uint64_t>& out,
+                      std::size_t max_steps = 1u << 20) const {
+    out.clear();
+    Node* dummy = head_.load();
+    if (!mem::SlabDirectory::instance().owns(dummy)) return false;
+    Node* c = dummy->next.load();
+    std::size_t steps = 0;
+    while (c != nullptr) {
+      if (++steps > max_steps) return false;  // cycle / runaway chain
+      if (!mem::SlabDirectory::instance().owns(c)) return false;
+      out.push_back(c->value);
+      c = c->next.load();
+    }
+    return true;
+  }
+
   Policy& policy() { return policy_; }
 
  private:
   using Node = QueueNode;
 
-  alignas(64) std::atomic<Node*> head_;
-  alignas(64) std::atomic<Node*> tail_;
+  alignas(64) pmem::persist<Node*> head_;
+  alignas(64) pmem::persist<Node*> tail_;
   Policy policy_;
 };
 

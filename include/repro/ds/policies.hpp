@@ -53,15 +53,26 @@ class IsbPolicy {
   void visit(const void*, bool) {}
   void pre_cas(const void*) {}
 
-  void post_update(const void* primary, const void* secondary) {
+  // A freshly initialised node is about to be published by a CAS: its
+  // contents must be durable before any durable pointer to it exists,
+  // or a crash could leave a link into never-persisted memory.  Both
+  // profiles pay the pwb+pfence here — it is not one of the redundant
+  // instructions the optimized placement may elide.
+  void pre_publish(const void* node) {
+    const PerThread& t = tls_[thread_slot()];
+    if (t.read_only && opt_.read_only_opt) return;
+    pmem::flush(node);
+    pmem::fence();
+  }
+
+  void post_update(const void* primary, const void*) {
     const PerThread& t = tls_[thread_slot()];
     if (t.read_only && opt_.read_only_opt) return;  // helping during a read
     pmem::flush(primary);
     if (opt_.profile == PersistProfile::general) {
-      // The general transformation persists every written line and
-      // orders immediately; the tuned placement coalesces the new
-      // node's flush into the commit fence.
-      if (secondary != nullptr) pmem::flush(secondary);
+      // The general transformation orders every written line
+      // immediately; the tuned placement coalesces the link's
+      // write-back into the commit's ordering fence.
       pmem::fence();
     }
   }
@@ -110,12 +121,21 @@ class DtPolicy {
 
   void pre_cas(const void*) {}
 
-  void post_update(const void* primary, const void* secondary) {
-    pmem::flush(primary);
-    if (profile_ == PersistProfile::general && secondary != nullptr) {
-      pmem::flush(secondary);
-    }
+  // See IsbPolicy::pre_publish: node contents durable before the link.
+  void pre_publish(const void* node) {
+    pmem::flush(node);
     pmem::fence();
+  }
+
+  void post_update(const void* primary, const void*) {
+    pmem::flush(primary);
+    // REPRO_MUTATE_DROP_PFENCE is the crash engine's mutation
+    // self-test: building with it elides exactly this ordering fence,
+    // and the fuzzer must then report a detectability violation (the
+    // commit record can persist while the structural update is lost).
+#ifndef REPRO_MUTATE_DROP_PFENCE
+    pmem::fence();
+#endif
   }
 
   void op_end(bool ok, std::uint64_t result, bool) {
@@ -167,6 +187,11 @@ class CapsulesPolicy {
       checkpoint(c);
     }
   }
+
+  // Capsule continuations already checkpoint around the CAS; the new
+  // node's line persists with the capsule machinery, so no extra
+  // pre-publication instructions are counted for this transformation.
+  void pre_publish(const void*) {}
 
   void pre_cas(const void*) {
     Capsule& c = tls_[thread_slot()].cap;
@@ -230,6 +255,7 @@ class LogPolicy {
   }
 
   void visit(const void*, bool) {}
+  void pre_publish(const void*) {}
   void pre_cas(const void*) {}
 
   void post_update(const void* primary, const void*) {

@@ -1,0 +1,541 @@
+// Crash-point fuzzer: the dynamic half of the crash-simulation engine.
+//
+// One fuzz iteration builds a fresh structure, prefills it, switches
+// the pmem layer into shadow-NVM mode, arms a crash at a PRNG-chosen
+// persistence-instruction boundary (pmem/crash.hpp), and drives a
+// deterministic single-threaded workload until the crash fires.  The
+// simulated power failure then rewinds every tracked word to the
+// durable image (pmem/shadow.hpp, adversarial fidelity: write-backs
+// pending at the crash complete or not per the same PRNG), and the
+// verifier replays AnnouncementBoard::recover() against that image and
+// checks the detectability contract:
+//
+//   D1  The durable descriptor matches exactly one operation the
+//       thread ran: the last durably-committed one, or the in-flight
+//       one.  Anything else is a lost or duplicated commit.
+//   D2  If it names a completed (pre-crash) operation, it must carry
+//       that operation's full response (kind, key, ok, result), and
+//       every later completed operation must have been a find — the
+//       only operations entitled to leave no durable trace (the
+//       read-only optimization).
+//   D3  If it names the in-flight operation as done, the response must
+//       be the one the durable contents imply — completed-with-
+//       response XOR not-applied, never "completed" with the effect
+//       lost.
+//   D4  The durable contents (lists: logical key walk; queues: value
+//       walk) must equal the model after the last completed operation,
+//       with or without the in-flight operation's effect — no lost or
+//       duplicated effects, and the walk itself must be well-formed
+//       (no durable links into never-persisted memory, no cycles).
+//
+// Structures without a snapshot surface (BST/skiplist/stack/
+// exchanger) are verified against D1-D2 and the D3 response-shape
+// rules only.
+//
+// Determinism: everything derives from {seed, iteration}; a reported
+// failure's {structure, seed, crash_point} triple replays bit-for-bit
+// through fuzz_one() (the REPRO_SEED satellite feeds the same base
+// seed to benches and tests).  Reclamation is paused for the span of
+// an iteration so a rewound durable link can never target a recycled
+// cell; after verification the crash is undone (shadow::uncrash) and
+// the structure torn down through the normal destructor path — a real
+// crash never runs destructors, but a simulation has to.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "repro/ds/detectable.hpp"
+#include "repro/harness/registry.hpp"
+#include "repro/harness/runner.hpp"
+#include "repro/harness/workload.hpp"
+#include "repro/mem/ebr.hpp"
+#include "repro/pmem/crash.hpp"
+#include "repro/pmem/persist.hpp"
+#include "repro/pmem/shadow.hpp"
+
+namespace repro::harness {
+
+// The crash-schedule dimension of an ExperimentSpec: how many crash
+// points to fuzz per structure, and where they land.
+struct CrashPlan {
+  std::uint64_t seed = 0;  // 0 → global_seed() (REPRO_SEED)
+  // Fixed crash point: the n-th persistence instruction of every
+  // iteration.  0 → drawn per iteration from [1, max_events].
+  std::uint64_t after_n_events = 0;
+  int points = 0;           // fuzz iterations per structure; 0 → off
+  std::uint64_t max_events = 192;  // horizon for random crash points
+  int ops_budget = 256;     // ops per iteration if the crash never fires
+  pmem::shadow::CrashFidelity fidelity =
+      pmem::shadow::CrashFidelity::adversarial;
+
+  std::uint64_t effective_seed() const {
+    return seed != 0 ? seed : global_seed();
+  }
+};
+
+// One confirmed detectability violation, with everything needed to
+// replay it (the CI artifact's payload).  `seed` is the per-iteration
+// seed for a fuzz_one() replay; `base_seed` is the run's plan seed —
+// REPRO_SEED=<base_seed> re-runs the whole failing point, reaching the
+// same iteration.
+struct FuzzFailure {
+  std::string structure;
+  std::uint64_t seed = 0;         // iteration seed fed to fuzz_one
+  std::uint64_t base_seed = 0;    // the run's CrashPlan seed
+  std::uint64_t crash_point = 0;  // persistence-instruction index
+  int iteration = -1;
+  std::string what;
+};
+
+// Aggregate over one structure's fuzz run.
+struct FuzzReport {
+  int points = 0;      // iterations executed
+  int crashes = 0;     // iterations where the crash actually fired
+  int violations = 0;  // failed contract checks (0 == pass)
+  std::uint64_t total_ops = 0;
+  double recovery_us_total = 0;
+  std::vector<FuzzFailure> failures;  // first few, for the reproducer
+};
+
+namespace fuzz_detail {
+
+// What the driver remembers about one completed operation.
+struct OpRec {
+  std::uint64_t board_seq = 0;  // descriptor seq after the op (volatile)
+  ds::OpKind kind = ds::OpKind::none;
+  std::int64_t key = 0;
+  bool ok = false;
+  std::uint64_t result = 0;
+  bool mutating = false;  // insert/erase/enqueue/dequeue/push/pop
+};
+
+inline const char* kind_str(ds::OpKind k) {
+  switch (k) {
+    case ds::OpKind::none: return "none";
+    case ds::OpKind::insert: return "insert";
+    case ds::OpKind::erase: return "erase";
+    case ds::OpKind::find: return "find";
+    case ds::OpKind::enqueue: return "enqueue";
+    case ds::OpKind::dequeue: return "dequeue";
+    case ds::OpKind::push: return "push";
+    case ds::OpKind::pop: return "pop";
+    case ds::OpKind::exchange: return "exchange";
+  }
+  return "?";
+}
+
+// Contents models.  The set model mirrors a list's logical key set;
+// the queue model mirrors values front to back.
+struct Model {
+  std::set<std::int64_t> keys;
+  std::vector<std::uint64_t> values;
+
+  void apply_set(ds::OpKind k, std::int64_t key) {
+    if (k == ds::OpKind::insert) keys.insert(key);
+    if (k == ds::OpKind::erase) keys.erase(key);
+  }
+  void apply_queue(ds::OpKind k, std::uint64_t v) {
+    if (k == ds::OpKind::enqueue) values.push_back(v);
+    if (k == ds::OpKind::dequeue && !values.empty()) {
+      values.erase(values.begin());
+    }
+  }
+};
+
+inline bool set_equals(const std::set<std::int64_t>& model,
+                       std::vector<std::int64_t> walked) {
+  std::sort(walked.begin(), walked.end());
+  return walked.size() == model.size() &&
+         std::equal(walked.begin(), walked.end(), model.begin());
+}
+
+}  // namespace fuzz_detail
+
+// Runs one deterministic fuzz iteration.  `crash_point` of 0 lets the
+// iteration's own PRNG draw it (as fuzz_structure does); a non-zero
+// value replays an exact reported failure.  Appends to `report`.
+inline void fuzz_one(const AlgoEntry& algo, const CrashPlan& plan,
+                     std::uint64_t iter_seed, std::uint64_t crash_point,
+                     int iteration, FuzzReport& report) {
+  using namespace fuzz_detail;
+  namespace shadow = pmem::shadow;
+
+  Rng rng(iter_seed);
+  // The crash-point draw is consumed unconditionally so that replaying
+  // a reported failure with an explicit crash_point leaves the Rng in
+  // the same state as the original iteration — otherwise every
+  // subsequent prefill/op draw would shift by one and the replayed
+  // workload would differ.
+  if (plan.after_n_events != 0) {
+    if (crash_point == 0) crash_point = plan.after_n_events;
+  } else {
+    const std::uint64_t drawn = 1 + rng.below(plan.max_events);
+    if (crash_point == 0) crash_point = drawn;
+  }
+
+  ++report.points;
+  // Retired cells must stay intact until the durable image has been
+  // verified (a rewound link may point at them); the braces end the
+  // pause before the final quiesce() so the iteration's limbo actually
+  // drains.
+  {
+  mem::ReclaimPause pause;
+  auto holder = algo.make();
+  Structure* s = holder.get();
+  const bool is_set = algo.kind == Kind::set;
+  const bool is_queue = algo.kind == Kind::queue;
+  auto* set = is_set ? dynamic_cast<SetIface*>(s) : nullptr;
+  auto* queue = is_queue ? dynamic_cast<QueueIface*>(s) : nullptr;
+  auto* stack =
+      algo.kind == Kind::stack ? dynamic_cast<StackIface*>(s) : nullptr;
+  auto* ex = algo.kind == Kind::exchanger
+                 ? dynamic_cast<ExchangerIface*>(s)
+                 : nullptr;
+  // The durable-image walk vouches for pointers by checking them
+  // against the pool slab directory; the no-reclaim ablations allocate
+  // with raw `new` outside any pool, so they are verified at the
+  // descriptor level only.
+  const bool contents_checked = s->has_snapshot() &&
+                                (is_set || is_queue) &&
+                                !algo.has_trait("no-reclaim");
+
+  auto fail = [&](const std::string& what) {
+    ++report.violations;
+    if (report.failures.size() < 8) {
+      report.failures.push_back({algo.name, iter_seed,
+                                 plan.effective_seed(), crash_point,
+                                 iteration, what});
+    }
+  };
+
+  // Prefill before shadow tracking starts: its state is durable by
+  // construction (persisted before the crash plan began).
+  constexpr std::int64_t kKeyRange = 24;
+  Model model;
+  if (set != nullptr) {
+    for (std::int64_t k = 1; k <= kKeyRange; ++k) {
+      if (rng.below(2) == 0 && set->insert(k)) model.keys.insert(k);
+    }
+  } else if (queue != nullptr) {
+    for (std::uint64_t v = 1; v <= 8; ++v) {
+      queue->enqueue(v);
+      model.values.push_back(v);
+    }
+  } else if (stack != nullptr) {
+    for (std::uint64_t v = 1; v <= 8; ++v) stack->push(v);
+  }
+
+  const int slot = ds::thread_slot();
+  const ds::Recovered base = s->recover(slot);
+
+  std::vector<OpRec> done;
+  done.reserve(static_cast<std::size_t>(plan.ops_budget));
+  bool crashed = false;
+  OpRec inflight;
+
+  {
+    pmem::ModeGuard mode(pmem::Mode::shadow);
+    shadow::reset();
+    pmem::crash::arm(crash_point);
+    try {
+      for (int o = 0; o < plan.ops_budget; ++o) {
+        OpRec rec;
+        if (set != nullptr) {
+          rec.key = 1 + static_cast<std::int64_t>(
+                            rng.below(static_cast<std::uint64_t>(
+                                kKeyRange)));
+          const std::uint64_t dice = rng.below(10);
+          rec.kind = dice < 4   ? ds::OpKind::insert
+                     : dice < 8 ? ds::OpKind::erase
+                                : ds::OpKind::find;
+          rec.mutating = rec.kind != ds::OpKind::find;
+          inflight = rec;
+          switch (rec.kind) {
+            case ds::OpKind::insert: rec.ok = set->insert(rec.key); break;
+            case ds::OpKind::erase: rec.ok = set->erase(rec.key); break;
+            default: rec.ok = set->find(rec.key); break;
+          }
+          rec.result = rec.ok ? 1 : 0;
+          if (rec.mutating && rec.ok) model.apply_set(rec.kind, rec.key);
+        } else if (queue != nullptr) {
+          if (rng.below(2) == 0) {
+            const std::uint64_t v = 1 + (rng.next() >> 1);
+            rec.kind = ds::OpKind::enqueue;
+            rec.key = static_cast<std::int64_t>(v);
+            rec.mutating = true;
+            inflight = rec;
+            queue->enqueue(v);
+            rec.ok = true;
+            rec.result = v;
+            model.apply_queue(rec.kind, v);
+          } else {
+            rec.kind = ds::OpKind::dequeue;
+            rec.mutating = true;
+            inflight = rec;
+            std::uint64_t out = 0;
+            rec.ok = queue->dequeue(out);
+            rec.result = out;
+            if (rec.ok) model.apply_queue(rec.kind, 0);
+          }
+        } else if (stack != nullptr) {
+          if (rng.below(2) == 0) {
+            const std::uint64_t v = 1 + (rng.next() >> 1);
+            rec.kind = ds::OpKind::push;
+            rec.key = static_cast<std::int64_t>(v);
+            rec.mutating = true;
+            inflight = rec;
+            stack->push(v);
+            rec.ok = true;
+            rec.result = v;
+          } else {
+            rec.kind = ds::OpKind::pop;
+            rec.mutating = true;
+            inflight = rec;
+            std::uint64_t out = 0;
+            rec.ok = stack->pop(out);
+            rec.result = out;
+          }
+        } else {
+          const std::uint64_t v = rng.next() >> 1;
+          rec.kind = ds::OpKind::exchange;
+          rec.key = static_cast<std::int64_t>(v);
+          rec.mutating = true;
+          inflight = rec;
+          std::uint64_t out = 0;
+          rec.ok = ex->exchange(v, 2, out);  // unpaired: times out
+          rec.result = out;
+        }
+        rec.board_seq = s->recover(slot).seq;  // volatile ground truth
+        done.push_back(rec);
+      }
+    } catch (const pmem::crash::CrashUnwind&) {
+      crashed = true;
+    }
+    pmem::crash::disarm();
+
+    if (crashed) {
+      ++report.crashes;
+      // Power failure: rewind to the durable image.
+      Rng coin_rng(mix_seed(iter_seed, crash_point));
+      shadow::crash(plan.fidelity,
+                    [&coin_rng] { return coin_rng.below(2) == 0; });
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const ds::Recovered rec = s->recover(slot);
+      report.recovery_us_total +=
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+
+      const std::uint64_t last_seq =
+          done.empty() ? base.seq : done.back().board_seq;
+      const std::uint64_t inflight_seq = last_seq + 1;
+
+      // Durable contents, walked while the structure physically holds
+      // the durable image.
+      bool walk_ok = true;
+      std::vector<std::int64_t> durable_keys;
+      std::vector<std::uint64_t> durable_values;
+      if (contents_checked) {
+        walk_ok = is_set ? s->snapshot_keys(durable_keys)
+                         : s->snapshot_values(durable_values);
+        if (!walk_ok) {
+          fail("durable image walk failed: link into never-persisted "
+               "memory or a cycle");
+        }
+      }
+
+      // D4: contents must be the model with or without the in-flight
+      // effect.
+      bool inflight_effect_applied = false;
+      if (contents_checked && walk_ok) {
+        Model with = model;  // model already reflects completed ops
+        bool ambiguous = false;  // effect is a no-op (e.g. failed erase)
+        if (is_set) {
+          Model without = model;
+          if (inflight.kind != ds::OpKind::none && inflight.mutating) {
+            with.apply_set(inflight.kind, inflight.key);
+          }
+          const bool matches_without =
+              set_equals(without.keys, durable_keys);
+          const bool matches_with = set_equals(with.keys, durable_keys);
+          ambiguous = with.keys == without.keys;
+          inflight_effect_applied = matches_with && !ambiguous;
+          if (!matches_without && !matches_with) {
+            fail("durable set contents match neither pre- nor "
+                 "post-in-flight model");
+          }
+        } else {
+          Model without = model;
+          if (inflight.kind == ds::OpKind::enqueue) {
+            with.apply_queue(ds::OpKind::enqueue,
+                             static_cast<std::uint64_t>(inflight.key));
+          } else if (inflight.kind == ds::OpKind::dequeue) {
+            with.apply_queue(ds::OpKind::dequeue, 0);
+          }
+          const bool matches_without = durable_values == without.values;
+          const bool matches_with = durable_values == with.values;
+          ambiguous = with.values == without.values;
+          inflight_effect_applied = matches_with && !ambiguous;
+          if (!matches_without && !matches_with) {
+            fail("durable queue contents match neither pre- nor "
+                 "post-in-flight model");
+          }
+        }
+      }
+
+      // D1-D3: descriptor vs. the thread's operation history.
+      if (rec.seq == inflight_seq) {
+        // The in-flight operation's announcement reached the durable
+        // image.  Pending is always legitimate; done must carry a
+        // response consistent with the durable contents.
+        if (rec.completed) {
+          if (contents_checked && walk_ok && inflight.mutating) {
+            bool response_ok = true;
+            if (is_set) {
+              const bool present = model.keys.count(inflight.key) > 0;
+              const bool expect_ok =
+                  inflight.kind == ds::OpKind::insert ? !present
+                                                      : present;
+              // A committed-with-success mutation must have its effect
+              // durable; a committed no-op must not have one.
+              response_ok = rec.ok == expect_ok &&
+                            (!rec.ok || inflight_effect_applied);
+            } else if (inflight.kind == ds::OpKind::enqueue) {
+              response_ok = rec.ok && inflight_effect_applied;
+            } else {  // dequeue
+              const bool had = !model.values.empty();
+              response_ok =
+                  rec.ok == had &&
+                  (!rec.ok ||
+                   (inflight_effect_applied &&
+                    rec.result == model.values.front()));
+            }
+            if (!response_ok) {
+              fail(std::string("in-flight ") + kind_str(inflight.kind) +
+                   " committed durably but its response/effect "
+                   "disagree with the durable contents");
+            }
+          }
+        } else if (rec.kind != inflight.kind ||
+                   rec.key != inflight.key) {
+          fail("durable announcement names a different operation than "
+               "the in-flight one");
+        }
+      } else {
+        // Must be the last durably-committed operation, every later
+        // completed op a find.  Only ops that *announced* (bumped the
+        // board seq — finds without a DetectableOp never touch the
+        // descriptor) can be what the durable descriptor describes.
+        int match = -1;
+        for (int j = static_cast<int>(done.size()) - 1; j >= 0; --j) {
+          const auto ju = static_cast<std::size_t>(j);
+          const std::uint64_t prev_seq =
+              j == 0 ? base.seq : done[ju - 1].board_seq;
+          if (done[ju].board_seq == rec.seq &&
+              done[ju].board_seq != prev_seq) {
+            match = j;
+            break;
+          }
+        }
+        if (match < 0 && rec.seq == base.seq) {
+          // Rewound to the pre-workload state: legal only if no
+          // completed op was obliged to leave a trace, and the
+          // descriptor is byte-for-byte the pre-workload one.
+          bool all_traceless = true;
+          for (const OpRec& r : done) all_traceless &= !r.mutating;
+          if (!all_traceless) {
+            fail("durable descriptor predates committed mutations "
+                 "(lost commit)");
+          } else if (rec.completed != base.completed ||
+                     rec.kind != base.kind || rec.key != base.key ||
+                     rec.ok != base.ok || rec.result != base.result) {
+            fail("pre-workload descriptor corrupted across the crash");
+          }
+        } else if (match < 0) {
+          char buf[96];
+          std::snprintf(buf, sizeof(buf),
+                        "durable descriptor seq %llu matches no "
+                        "operation this thread ran",
+                        static_cast<unsigned long long>(rec.seq));
+          fail(buf);
+        } else {
+          const OpRec& m = done[static_cast<std::size_t>(match)];
+          if (!rec.completed || rec.kind != m.kind || rec.key != m.key ||
+              rec.ok != m.ok || rec.result != m.result) {
+            fail(std::string("durable descriptor for completed ") +
+                 kind_str(m.kind) +
+                 " lost or corrupted its response");
+          }
+          for (std::size_t j = static_cast<std::size_t>(match) + 1;
+               j < done.size(); ++j) {
+            if (done[j].mutating) {
+              fail("a later committed mutation left no durable trace "
+                   "(lost commit)");
+              break;
+            }
+          }
+        }
+      }
+
+      // Back to the pre-crash machine state so teardown and
+      // reclamation run on consistent memory.
+      shadow::uncrash();
+    }
+    shadow::reset();
+  }
+
+  report.total_ops += done.size();
+  holder.reset();
+  }  // ReclaimPause ends here
+  mem::EpochDomain::instance().quiesce();
+}
+
+// Fuzzes one structure across plan.points crash points.
+inline FuzzReport fuzz_structure(const AlgoEntry& algo,
+                                 const CrashPlan& plan) {
+  FuzzReport report;
+  const std::uint64_t base = plan.effective_seed();
+  for (int i = 0; i < plan.points; ++i) {
+    fuzz_one(algo, plan, mix_seed(base, static_cast<std::uint64_t>(i)),
+             0, i, report);
+  }
+  return report;
+}
+
+// Writes the failing reproducers as JSON lines (the CI artifact).
+// Replay either the whole failing point —
+//   REPRO_SEED=<base_seed> ./crash_recovery
+//     --benchmark_filter='crash-fuzz/<structure>/'
+// — or the single iteration, fuzz_one(algo, plan, seed, crash_point,
+// ...), in a unit test.  The first write of a process truncates the
+// file; later failing structures in the same run append, so a
+// multi-structure regression keeps every reproducer.
+inline void write_reproducer(const FuzzReport& report,
+                             const std::string& path) {
+  static bool truncated_once = false;
+  std::FILE* f = std::fopen(path.c_str(), truncated_once ? "a" : "w");
+  if (f == nullptr) return;
+  truncated_once = true;
+  for (const FuzzFailure& x : report.failures) {
+    std::fprintf(
+        f,
+        "{\"structure\":\"%s\",\"seed\":%llu,\"base_seed\":%llu,"
+        "\"crash_point\":%llu,\"iteration\":%d,\"what\":\"%s\"}\n",
+        x.structure.c_str(), static_cast<unsigned long long>(x.seed),
+        static_cast<unsigned long long>(x.base_seed),
+        static_cast<unsigned long long>(x.crash_point), x.iteration,
+        x.what.c_str());
+  }
+  std::fclose(f);
+}
+
+}  // namespace repro::harness

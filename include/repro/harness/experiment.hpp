@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "repro/harness/crashfuzz.hpp"
 #include "repro/harness/registry.hpp"
 #include "repro/harness/runner.hpp"
 #include "repro/harness/sinks.hpp"
@@ -56,6 +57,7 @@ inline const char* mode_name(pmem::Mode m) {
     case pmem::Mode::shared_cache: return "shared_cache";
     case pmem::Mode::private_cache: return "private_cache";
     case pmem::Mode::count_only: return "count_only";
+    case pmem::Mode::shadow: return "shadow";
   }
   return "?";
 }
@@ -83,6 +85,12 @@ struct ExperimentSpec {
   int prefill_pct = -1;          // < 0 → REPRO_PREFILL_PCT / 40
   std::size_t queue_prefill = 0;  // 0 → REPRO_QUEUE_PREFILL / 100000
   int crash_after_ms = 0;  // > 0 → crash-recovery scenario points
+  // Crash-point fuzzing (crashfuzz.hpp): plan.points > 0 turns every
+  // selected trait:detectable structure into one single-threaded
+  // shadow-NVM fuzz point.  Mutually exclusive with crash_after_ms.
+  CrashPlan crash_plan;
+
+  bool is_crash_fuzz() const { return crash_plan.points > 0; }
 };
 
 // One expanded grid point.
@@ -137,6 +145,11 @@ inline std::vector<const AlgoEntry*> selected_structures(
          (algo->kind != Kind::set && algo->kind != Kind::queue))) {
       continue;
     }
+    // The fuzzer covers every kind, but only structures speaking the
+    // announcement-board protocol can be verified.
+    if (spec.is_crash_fuzz() && !algo->has_trait("detectable")) {
+      continue;
+    }
     out.push_back(algo);
   }
   return out;
@@ -155,6 +168,20 @@ inline std::vector<Point> expand(const ExperimentSpec& spec) {
       spec.mixes.empty() ? std::vector<Mix>{kReadIntensive} : spec.mixes;
 
   const std::vector<const AlgoEntry*> algos = selected_structures(spec);
+
+  // Crash-point fuzzing is single-threaded and drives its own pmem
+  // mode (shadow) and workload: exactly one point per structure.
+  if (spec.is_crash_fuzz()) {
+    for (const AlgoEntry* algo : algos) {
+      Point p;
+      p.algo = algo;
+      p.mode = pmem::Mode::shadow;
+      p.threads = 1;
+      points.push_back(p);
+    }
+    return points;
+  }
+
   for (pmem::Mode mode : spec.modes) {
     for (const AlgoEntry* algo : algos) {
       if (algo->kind == Kind::set) {
@@ -206,6 +233,9 @@ inline std::string point_scenario(const ExperimentSpec& spec,
   }
   if (spec.crash_after_ms > 0) {
     s += " crash@" + std::to_string(spec.crash_after_ms) + "ms";
+  }
+  if (spec.is_crash_fuzz()) {
+    s += " fuzz=" + std::to_string(spec.crash_plan.points);
   }
   return s;
 }
@@ -390,21 +420,57 @@ inline CrashReport run_crash_point(const ExperimentSpec& spec,
   return rep;
 }
 
-// Runs one grid point (normal measurement or crash scenario) and
-// returns its self-contained result row.
+// Runs one grid point (normal measurement, crash scenario, or
+// crash-point fuzzing) and returns its self-contained result row.
 inline ResultRow run_point(const ExperimentSpec& spec, const Point& p) {
-  pmem::ModeGuard guard(p.mode);
   ResultRow row;
   row.figure = spec.figure;
   row.algo = p.algo->name;
   row.mode = mode_name(p.mode);
   row.scenario = point_scenario(spec, p);
+  row.seed = spec.is_crash_fuzz() ? spec.crash_plan.effective_seed()
+                                  : global_seed();
   if (p.has_mix) {
     row.dist = key_dist_name(spec.dist);
     row.key_range = p.key_range;
     row.mix = p.mix.name;
   }
 
+  if (spec.is_crash_fuzz()) {
+    // The fuzzer manages the pmem mode per iteration itself.
+    const FuzzReport rep = fuzz_structure(*p.algo, spec.crash_plan);
+    row.run.total_ops = rep.total_ops;
+    row.run.threads = 1;
+    row.crash_points = rep.points;
+    row.crash_violations = rep.violations;
+    if (rep.crashes > 0) {
+      row.recovery_us = rep.recovery_us_total / rep.crashes;
+    }
+    if (rep.violations > 0) {
+      detail::crash_failure_cell().fetch_add(rep.violations,
+                                             std::memory_order_relaxed);
+      for (const FuzzFailure& f : rep.failures) {
+        std::fprintf(stderr,
+                     "repro: %s: detectability violation at "
+                     "{seed=%llu, crash_point=%llu} (REPRO_SEED=%llu, "
+                     "iteration %d): %s\n",
+                     f.structure.c_str(),
+                     static_cast<unsigned long long>(f.seed),
+                     static_cast<unsigned long long>(f.crash_point),
+                     static_cast<unsigned long long>(f.base_seed),
+                     f.iteration, f.what.c_str());
+      }
+      const char* repro_path = std::getenv("REPRO_CRASH_REPRO");
+      write_reproducer(rep, repro_path != nullptr && repro_path[0]
+                                ? repro_path
+                                : "crash_repro.jsonl");
+    }
+    row.run.point_index =
+        detail::point_counter().fetch_add(1, std::memory_order_relaxed);
+    return row;
+  }
+
+  pmem::ModeGuard guard(p.mode);
   if (spec.crash_after_ms > 0) {
     const CrashReport rep = run_crash_point(spec, p);
     row.run = rep.run;

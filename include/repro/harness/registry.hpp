@@ -68,6 +68,20 @@ class Structure {
   // thread `slot` would learn about its last operation after a crash.
   virtual bool detectable() const { return false; }
   virtual ds::Recovered recover(int /*slot*/) const { return {}; }
+  // Crash-engine enumeration of the durable image, when the
+  // implementation exposes one (lists: logical key set; queues: values
+  // front to back).  Returning false means "no snapshot surface" from
+  // the default, or "the durable image is inconsistent" from an
+  // implementation — the fuzz verifier distinguishes the two by
+  // checking the capability before the crash.
+  virtual bool snapshot_keys(std::vector<std::int64_t>& /*out*/) const {
+    return false;
+  }
+  virtual bool snapshot_values(
+      std::vector<std::uint64_t>& /*out*/) const {
+    return false;
+  }
+  virtual bool has_snapshot() const { return false; }
 };
 
 class SetIface : public Structure {
@@ -100,6 +114,18 @@ template <typename T>
 concept Recoverable = requires(const T& t) {
   { t.recover(0) } -> std::convertible_to<ds::Recovered>;
 };
+
+template <typename T>
+concept KeySnapshottable =
+    requires(const T& t, std::vector<std::int64_t>& out) {
+      { t.snapshot_keys(out) } -> std::convertible_to<bool>;
+    };
+
+template <typename T>
+concept ValueSnapshottable =
+    requires(const T& t, std::vector<std::uint64_t>& out) {
+      { t.snapshot_values(out) } -> std::convertible_to<bool>;
+    };
 }  // namespace detail
 
 // Adapters: recovery support is detected from the implementation, so a
@@ -119,6 +145,27 @@ class AdapterBase : public Base {
     } else {
       (void)slot;
       return {};
+    }
+  }
+
+  bool has_snapshot() const override {
+    return detail::KeySnapshottable<Impl> ||
+           detail::ValueSnapshottable<Impl>;
+  }
+  bool snapshot_keys(std::vector<std::int64_t>& out) const override {
+    if constexpr (detail::KeySnapshottable<Impl>) {
+      return impl.snapshot_keys(out);
+    } else {
+      (void)out;
+      return false;
+    }
+  }
+  bool snapshot_values(std::vector<std::uint64_t>& out) const override {
+    if constexpr (detail::ValueSnapshottable<Impl>) {
+      return impl.snapshot_values(out);
+    } else {
+      (void)out;
+      return false;
     }
   }
 

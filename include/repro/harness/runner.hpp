@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <utility>
@@ -64,6 +65,38 @@ inline int env_int_nonneg(const char* name, int fallback) {
 // Measured interval per data point, in milliseconds.
 inline int bench_ms() { return detail::env_int("REPRO_BENCH_MS", 100); }
 
+// REPRO_SEED: one process-wide base seed threaded through every PRNG
+// the harness owns — worker Rngs, prefill, Zipfian draws (via the
+// worker Rngs), and crash plans — so any run (bench, test, fuzz) is
+// replayable bit-for-bit.  Read once; every sink row carries the
+// effective value.  Accepts decimal or 0x-hex.
+inline std::uint64_t global_seed() {
+  static const std::uint64_t s = [] {
+    if (const char* v = std::getenv("REPRO_SEED")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v, &end, 0);
+      if (end != v && *end == '\0') {
+        return static_cast<std::uint64_t>(parsed);
+      }
+      std::fprintf(stderr,
+                   "repro: ignoring unparsable REPRO_SEED '%s'\n", v);
+    }
+    return std::uint64_t{0x5EEDBA5Eull};
+  }();
+  return s;
+}
+
+// SplitMix64 finaliser: derives decorrelated per-thread / per-point
+// seeds from (base, salt) without the linear relationships a plain
+// base+salt seed would hand xorshift.
+inline std::uint64_t mix_seed(std::uint64_t base, std::uint64_t salt) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z != 0 ? z : 0x5EEDBA5Eull;  // xorshift state must be non-zero
+}
+
 // Top of the benchmark thread series (REPRO_MAX_THREADS overrides the
 // detected core count; the paper sweeps 1..#cores in powers of two).
 inline int max_threads() {
@@ -83,7 +116,7 @@ inline int prefill_pct() {
 template <typename Set>
 void prefill(Set& set, std::int64_t key_range, int percent = -1) {
   if (percent < 0) percent = prefill_pct();
-  Rng rng(0xC0FFEEull);
+  Rng rng(mix_seed(global_seed(), 0xC0FFEEull));
   for (std::int64_t k = 1; k <= key_range; ++k) {
     if (rng.below(100) < static_cast<std::uint64_t>(percent)) {
       set.insert(k);
@@ -113,7 +146,7 @@ RunResult run_threads(int threads, Body&& body, int run_ms = 0) {
   workers.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      Rng rng(0x9E3779B9ull + static_cast<std::uint64_t>(t) * 7919u);
+      Rng rng(mix_seed(global_seed(), static_cast<std::uint64_t>(t)));
       while (!start.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }

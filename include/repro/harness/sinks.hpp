@@ -36,6 +36,11 @@ struct ResultRow {
   std::string mix;             // "" when n/a
   RunResult run;
   double recovery_us = -1;  // crash scenario only; < 0 → n/a
+  // Effective PRNG seed (REPRO_SEED satellite): every row carries it
+  // so any emitted result is replayable bit-for-bit.
+  std::uint64_t seed = 0;
+  int crash_points = -1;      // crash-fuzz only; < 0 → n/a
+  int crash_violations = -1;  // crash-fuzz only; < 0 → n/a
 };
 
 class ResultSink {
@@ -59,6 +64,18 @@ class TableSink final : public ResultSink {
     if (r.recovery_us >= 0) {
       char buf[48];
       std::snprintf(buf, sizeof(buf), " recover=%.1fus", r.recovery_us);
+      scenario += buf;
+    }
+    if (r.crash_points >= 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " viol=%d/%d", r.crash_violations,
+                    r.crash_points);
+      scenario += buf;
+    }
+    {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), " seed=%llu",
+                    static_cast<unsigned long long>(r.seed));
       scenario += buf;
     }
     print_row(r.algo, scenario, r.run);
@@ -137,7 +154,8 @@ class CsvSink final : public StreamSinkBase {
       out() << "point_index,figure,algo,mode,dist,key_range,mix,threads,"
                "seconds,total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,"
                "psync_per_op,coalesced_pwb_per_op,allocs_per_op,"
-               "retired_per_op,reuse_ratio,recovery_us\n";
+               "retired_per_op,reuse_ratio,recovery_us,seed,"
+               "crash_points,crash_violations\n";
       header_written_ = true;
     }
     out() << r.run.point_index << ',' << r.figure << ',' << r.algo << ','
@@ -152,7 +170,12 @@ class CsvSink final : public StreamSinkBase {
           << fmt_double(r.run.allocs_per_op) << ','
           << fmt_double(r.run.retired_per_op) << ','
           << fmt_double(r.run.reuse_ratio) << ','
-          << (r.recovery_us >= 0 ? fmt_double(r.recovery_us) : "") << '\n';
+          << (r.recovery_us >= 0 ? fmt_double(r.recovery_us) : "") << ','
+          << r.seed << ',';
+    if (r.crash_points >= 0) out() << r.crash_points;
+    out() << ',';
+    if (r.crash_violations >= 0) out() << r.crash_violations;
+    out() << '\n';
     out().flush();
   }
 
@@ -186,9 +209,14 @@ class JsonlSink final : public StreamSinkBase {
           << fmt_double(r.run.coalesced_pwb_per_op)
           << ",\"allocs_per_op\":" << fmt_double(r.run.allocs_per_op)
           << ",\"retired_per_op\":" << fmt_double(r.run.retired_per_op)
-          << ",\"reuse_ratio\":" << fmt_double(r.run.reuse_ratio);
+          << ",\"reuse_ratio\":" << fmt_double(r.run.reuse_ratio)
+          << ",\"seed\":" << r.seed;
     if (r.recovery_us >= 0) {
       out() << ",\"recovery_us\":" << fmt_double(r.recovery_us);
+    }
+    if (r.crash_points >= 0) {
+      out() << ",\"crash_points\":" << r.crash_points
+            << ",\"crash_violations\":" << r.crash_violations;
     }
     out() << "}\n";
     out().flush();

@@ -133,14 +133,31 @@ class EpochDomain {
     ++detail::tl_stats.retires;
     if (++s.retire_ticks >= kAdvanceEvery) {
       s.retire_ticks = 0;
+      if (reclaim_paused()) return;  // park in limbo; drained on resume
       try_advance();
       reclaim_ready(s);
     }
   }
 
+  // While paused, retired nodes stay in their limbo lists and no cell
+  // is recycled — the crash engine relies on this so a rewound durable
+  // link can never resurface as a recycled (re-initialised) node while
+  // the post-crash image is being verified.  Pausing affects progress
+  // only, never safety; nesting is allowed.
+  bool reclaim_paused() const {
+    return pause_depth_.load(std::memory_order_relaxed) > 0;
+  }
+  void pause_reclaim() {
+    pause_depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void resume_reclaim() {
+    pause_depth_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   // One amortised advancement step: move the global epoch forward iff
   // every pinned thread has announced it.  Returns true on advance.
   bool try_advance() {
+    if (reclaim_paused()) return false;  // epoch frozen under pause
     std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
     for (int i = 0; i < ds::kMaxThreads; ++i) {
       const std::uint64_t a =
@@ -225,6 +242,7 @@ class EpochDomain {
 
   // Free every limbo list of `s` that is at least two epochs behind.
   void reclaim_ready(Slot& s) {
+    if (reclaim_paused()) return;
     const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
     for (Limbo& l : s.limbo) {
       if (!l.items.empty() && l.epoch + 2 <= e) reclaim(l);
@@ -235,7 +253,18 @@ class EpochDomain {
   // starting at kEpochLists keeps `l.epoch + 2 <= e` exact from the
   // first retire on.
   std::atomic<std::uint64_t> epoch_{kEpochLists};
+  std::atomic<int> pause_depth_{0};
   Slot slots_[ds::kMaxThreads];
+};
+
+// RAII reclaim pause (crash-engine iterations, teardown-sensitive
+// tests): retired cells stay intact until the scope ends.
+class ReclaimPause {
+ public:
+  ReclaimPause() { EpochDomain::instance().pause_reclaim(); }
+  ~ReclaimPause() { EpochDomain::instance().resume_reclaim(); }
+  ReclaimPause(const ReclaimPause&) = delete;
+  ReclaimPause& operator=(const ReclaimPause&) = delete;
 };
 
 // ---------------------------------------------------------------------

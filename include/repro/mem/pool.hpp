@@ -81,6 +81,52 @@ inline std::int64_t outstanding_blocks() {
   return detail::outstanding_cell().load(std::memory_order_relaxed);
 }
 
+// Process-wide directory of every pool slab's address range.  The
+// crash engine's durable-image walks validate each pointer they are
+// about to dereference against it: after a simulated crash a rewound
+// link may target memory that was never durably initialised, and
+// "some pool's slab" is the strongest claim such a pointer can still
+// honour.  Registration is once per 64 KiB slab (cold path); owns() is
+// a linear scan over a handful of ranges, only called while verifying
+// a crash, never on an operation's hot path.
+class SlabDirectory {
+ public:
+  static SlabDirectory& instance() {
+    static SlabDirectory d;
+    return d;
+  }
+
+  void add(const void* base, std::size_t bytes) {
+    const auto lo = reinterpret_cast<std::uintptr_t>(base);
+    std::lock_guard<std::mutex> lock(mu_);
+    ranges_.push_back({lo, lo + bytes});
+  }
+
+  // Whether p points into some registered slab, at line alignment —
+  // every pool cell starts on a cache line, so anything unaligned is
+  // not a node address.
+  bool owns(const void* p) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    if ((a & (kCacheLine - 1)) != 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Range& r : ranges_) {
+      if (a >= r.lo && a < r.hi) return true;
+    }
+    return false;
+  }
+
+  SlabDirectory(const SlabDirectory&) = delete;
+  SlabDirectory& operator=(const SlabDirectory&) = delete;
+
+ private:
+  struct Range {
+    std::uintptr_t lo, hi;
+  };
+  SlabDirectory() = default;
+  mutable std::mutex mu_;
+  std::vector<Range> ranges_;
+};
+
 template <typename T>
 class NodePool {
   static_assert(alignof(T) <= kCacheLine,
@@ -175,6 +221,7 @@ class NodePool {
         std::lock_guard<std::mutex> lock(slabs_mu_);
         slabs_.push_back(slab);
       }
+      SlabDirectory::instance().add(slab, kSlabBytes);
       sh.bump = slab;
       sh.bump_end = slab + kSlabBytes;
     }

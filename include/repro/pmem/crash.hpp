@@ -1,0 +1,77 @@
+// Crash-point injection for the shadow-NVM engine (shadow.hpp).
+//
+// A crash plan arms a countdown over *persistence instructions*: every
+// pwb/pfence/psync issued while armed decrements it, and when it hits
+// zero the instruction about to execute instead throws CrashUnwind —
+// modelling power failing at that instruction boundary, before its
+// effect.  The throw disarms the plan first, so persistence
+// instructions issued while the stack unwinds (or afterwards, during
+// verification) cannot fire a second crash.
+//
+// The counter is process-global and the fuzzer drives it from a single
+// thread; that is what makes a {seed, crash_point} pair replayable
+// bit-for-bit.  Arming from concurrent measurement threads is not a
+// supported mode (the shadow-overhead benches run un-armed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace repro::pmem::crash {
+
+// Thrown at the chosen persistence-instruction boundary.  Deliberately
+// not derived from std::exception: nothing downstream should catch it
+// by accident — only the fuzz driver's explicit handler.
+struct CrashUnwind {
+  std::uint64_t events = 0;  // instructions executed before the crash
+};
+
+namespace detail {
+inline std::atomic<bool>& armed_cell() {
+  static std::atomic<bool> a{false};
+  return a;
+}
+inline std::atomic<std::uint64_t>& remaining_cell() {
+  static std::atomic<std::uint64_t> r{0};
+  return r;
+}
+inline std::atomic<std::uint64_t>& seen_cell() {
+  static std::atomic<std::uint64_t> s{0};
+  return s;
+}
+}  // namespace detail
+
+inline bool armed() {
+  return detail::armed_cell().load(std::memory_order_relaxed);
+}
+
+// Instructions observed since the last arm().
+inline std::uint64_t events() {
+  return detail::seen_cell().load(std::memory_order_relaxed);
+}
+
+// Crash when the n-th persistence instruction from now is about to
+// execute (n >= 1).  The first n-1 instructions run normally.
+inline void arm(std::uint64_t n) {
+  detail::seen_cell().store(0, std::memory_order_relaxed);
+  detail::remaining_cell().store(n, std::memory_order_relaxed);
+  detail::armed_cell().store(n > 0, std::memory_order_relaxed);
+}
+
+inline void disarm() {
+  detail::armed_cell().store(false, std::memory_order_relaxed);
+}
+
+// Called at the top of pmem::flush/fence/psync, before any effect.
+inline void on_instruction() {
+  if (!armed()) return;
+  const std::uint64_t left =
+      detail::remaining_cell().fetch_sub(1, std::memory_order_relaxed);
+  if (left <= 1) {
+    disarm();
+    throw CrashUnwind{events()};
+  }
+  detail::seen_cell().fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace repro::pmem::crash

@@ -25,11 +25,21 @@
 // approximate: the line is flushed at the fence with all stores of the
 // window already in cache.  Counters::flushes keeps counting *issued*
 // pwbs, so the paper's per-op instruction counts are unchanged.
+// Shadow-NVM mode (pmem/shadow.hpp) adds a fourth behaviour: stores to
+// persist<T> cells are additionally tracked in a per-line write-log so
+// a simulated crash (pmem/crash.hpp) can discard everything a fence
+// has not committed.  Instructions execute as in count_only (no real
+// clflush), so the shadow-vs-count_only delta in the benches isolates
+// the tracking overhead.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+
+#include "repro/pmem/crash.hpp"
+#include "repro/pmem/shadow.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
@@ -42,6 +52,7 @@ enum class Mode {
   shared_cache,   // execute real flush + fence instructions (emulated NVRAM)
   private_cache,  // persistence is free: count but do not execute
   count_only,     // deterministic instruction-count experiments
+  shadow,         // count_only execution + shadow-NVM write-log tracking
 };
 
 // Which persistence placement a detectable algorithm uses: the general
@@ -65,6 +76,10 @@ inline std::atomic<bool>& coalescing_cell() {
 inline Mode mode() { return detail::mode_cell().load(std::memory_order_relaxed); }
 inline void set_mode(Mode m) {
   detail::mode_cell().store(m, std::memory_order_relaxed);
+  // Shadow tracking follows the mode, so ModeGuard(Mode::shadow) is
+  // the whole switch; callers that need a clean slate (the fuzzer,
+  // tests) pair it with shadow::reset().
+  shadow::set_enabled(m == Mode::shadow);
 }
 
 // Whether duplicate pwbs of one cache line are elided between fences.
@@ -156,7 +171,9 @@ inline void reset_counters() { detail::tl_counters = Counters{}; }
 // coalescing on, the write-back is deferred to the next fence and
 // same-line duplicates in the window are elided.
 inline void flush(const void* addr) {
+  crash::on_instruction();  // may throw CrashUnwind while a plan is armed
   ++detail::tl_counters.flushes;
+  if (shadow::enabled()) shadow::on_pwb(addr);
   const auto line =
       reinterpret_cast<std::uintptr_t>(addr) & detail::kFlushLineMask;
   if (coalescing()) {
@@ -182,8 +199,10 @@ inline void pwb(const void* addr) { flush(addr); }
 // pfence: order preceding pwbs before subsequent stores.  Pending
 // coalesced write-backs execute here, at the window boundary.
 inline void fence() {
+  crash::on_instruction();
   ++detail::tl_counters.fences;
   detail::drain_flush_buffer();
+  if (shadow::enabled()) shadow::on_fence();
   if (mode() == Mode::shared_cache) {
 #if defined(__x86_64__) || defined(_M_X64)
     _mm_sfence();
@@ -195,8 +214,10 @@ inline void fence() {
 
 // psync: drain — all earlier pwbs are durable once it returns.
 inline void psync() {
+  crash::on_instruction();
   ++detail::tl_counters.psyncs;
   detail::drain_flush_buffer();
+  if (shadow::enabled()) shadow::on_fence();
   if (mode() == Mode::shared_cache) {
 #if defined(__x86_64__) || defined(_M_X64)
     _mm_sfence();
@@ -208,11 +229,17 @@ inline void psync() {
 
 // A word that notionally lives in NVRAM.  Plain load/store/CAS plus
 // persisted variants that issue the pwb (and optionally the pfence) the
-// algorithms place after durable writes.
+// algorithms place after durable writes.  In shadow mode every
+// mutation is additionally logged in the per-line write-log so a
+// simulated crash can rewind the word to its last-committed value;
+// construction is not logged (a cell's initial value models state
+// durable before the crash plan started).
 template <typename T>
 class persist {
   static_assert(std::atomic<T>::is_always_lock_free,
                 "persist<T> requires a lock-free atomic representation");
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "shadow tracking stores one 8-byte word per cell");
 
  public:
   persist() = default;
@@ -222,6 +249,7 @@ class persist {
     return cell_.load(mo);
   }
   void store(T v, std::memory_order mo = std::memory_order_release) {
+    if (shadow::enabled()) shadow_log();
     cell_.store(v, mo);
   }
 
@@ -231,6 +259,10 @@ class persist {
   bool cas(T& expected, T desired,
            std::memory_order success = std::memory_order_acq_rel,
            std::memory_order failure = std::memory_order_acquire) {
+    // Logged before the attempt: a failed CAS dirties nothing new (the
+    // baseline captured is the still-current value), and logging after
+    // a success would race the crash boundary.
+    if (shadow::enabled()) shadow_log();
     return cell_.compare_exchange_strong(expected, desired, success,
                                          failure);
   }
@@ -240,13 +272,14 @@ class persist {
   bool cas_weak(T& expected, T desired,
                 std::memory_order success = std::memory_order_acq_rel,
                 std::memory_order failure = std::memory_order_acquire) {
+    if (shadow::enabled()) shadow_log();
     return cell_.compare_exchange_weak(expected, desired, success,
                                        failure);
   }
 
   // Store then immediately write the line back.
   void store_flush(T v) {
-    cell_.store(v, std::memory_order_release);
+    store(v, std::memory_order_release);
     flush(this);
   }
   // Store, write back, and order: the "durable linearization point"
@@ -257,6 +290,30 @@ class persist {
   }
 
  private:
+  static std::uint64_t to_bits(T v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(T));
+    return bits;
+  }
+  static T from_bits(std::uint64_t bits) {
+    T v;
+    std::memcpy(&v, &bits, sizeof(T));
+    return v;
+  }
+  static std::uint64_t shadow_load(void* cell) {
+    return to_bits(static_cast<std::atomic<T>*>(cell)->load(
+        std::memory_order_relaxed));
+  }
+  static void shadow_store(void* cell, std::uint64_t bits) {
+    static_cast<std::atomic<T>*>(cell)->store(
+        from_bits(bits), std::memory_order_relaxed);
+  }
+  void shadow_log() {
+    shadow::on_store(&cell_,
+                     to_bits(cell_.load(std::memory_order_relaxed)),
+                     &persist::shadow_load, &persist::shadow_store);
+  }
+
   std::atomic<T> cell_{};
 };
 

@@ -137,6 +137,21 @@ TEST(Expand, CrashScheduleKeepsOnlyDetectableSetsAndQueues) {
   }
 }
 
+TEST(Expand, CrashFuzzExpandsOnePointPerDetectableStructure) {
+  ExperimentSpec spec;
+  spec.structures = {"trait:paper-list"};
+  spec.threads = {1, 2, 4};    // ignored: the fuzzer is single-threaded
+  spec.key_ranges = {10, 20};  // ignored: it drives its own workload
+  spec.crash_plan.points = 10;
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 3u);  // Isb, Isb-Opt, DT-Opt
+  for (const auto& p : points) {
+    EXPECT_EQ(p.threads, 1);
+    EXPECT_EQ(p.mode, repro::pmem::Mode::shadow);
+    EXPECT_TRUE(p.algo->has_trait("detectable"));
+  }
+}
+
 TEST(Expand, UnmatchedSelectorCountsAsSpecError) {
   ExperimentSpec spec;
   spec.figure = "typo-test";
@@ -197,6 +212,7 @@ ResultRow golden_row() {
   row.run.reuse_ratio = 0.95;
   row.run.threads = 2;
   row.run.point_index = 7;
+  row.seed = 42;
   return row;
 }
 
@@ -209,9 +225,9 @@ TEST(Sinks, CsvGolden) {
       "point_index,figure,algo,mode,dist,key_range,mix,threads,seconds,"
       "total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,psync_per_op,"
       "coalesced_pwb_per_op,allocs_per_op,retired_per_op,reuse_ratio,"
-      "recovery_us\n"
+      "recovery_us,seed,crash_points,crash_violations\n"
       "7,figX,Algo,count_only,uniform,500,read-intensive,2,0.5,1000,2000,"
-      "2.25,1.5,1,0.25,0.75,0.5,0.95,\n");
+      "2.25,1.5,1,0.25,0.75,0.5,0.95,,42,,\n");
 }
 
 TEST(Sinks, JsonlGolden) {
@@ -226,7 +242,7 @@ TEST(Sinks, JsonlGolden) {
       "\"total_ops\":1000,\"ops_per_sec\":2000,\"pwb_per_op\":2.25,"
       "\"pbarrier_per_op\":1.5,\"psync_per_op\":1,"
       "\"coalesced_pwb_per_op\":0.25,\"allocs_per_op\":0.75,"
-      "\"retired_per_op\":0.5,\"reuse_ratio\":0.95}\n");
+      "\"retired_per_op\":0.5,\"reuse_ratio\":0.95,\"seed\":42}\n");
 }
 
 TEST(Sinks, JsonlIncludesRecoveryLatencyWhenSet) {
@@ -360,6 +376,23 @@ TEST(Crash, EveryInterruptedQueueOpIsDetected) {
   EXPECT_EQ(rep.mismatches, 0);
   EXPECT_GE(rep.completed, 1);
   EXPECT_EQ(rep.not_applied, rep.completed);
+}
+
+TEST(Crash, FuzzPointRunsCleanAndStampsTheRow) {
+  ExperimentSpec spec;
+  spec.figure = "fuzz-unit";
+  spec.structures = {"Isb"};
+  spec.crash_plan.points = 40;
+  spec.crash_plan.seed = 7;
+  const auto points = expand(spec);
+  ASSERT_EQ(points.size(), 1u);
+  const int before = crash_failures();
+  const ResultRow row = run_point(spec, points[0]);
+  EXPECT_EQ(crash_failures(), before);  // no violations
+  EXPECT_EQ(row.crash_points, 40);
+  EXPECT_EQ(row.crash_violations, 0);
+  EXPECT_EQ(row.seed, 7u);  // the crash plan's seed stamps the row
+  EXPECT_GT(row.run.total_ops, 0u);
 }
 
 TEST(Crash, RunPointEmitsRecoveryLatency) {
