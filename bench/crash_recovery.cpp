@@ -10,6 +10,18 @@
 //                      non-zero (the ctest / CI gate) and writes the
 //                      {structure, seed, crash_point} reproducers to
 //                      REPRO_CRASH_REPRO (default crash_repro.jsonl).
+//   conc-fuzz        — the concurrent crash-point fuzzer:
+//                      REPRO_CONC_FUZZ_POINTS iterations per
+//                      structure, each spawning REPRO_CONC_FUZZ_THREADS
+//                      racing workers, crashing at a persistence
+//                      boundary on whichever thread issues it, and
+//                      verifying the recorded history + durable image
+//                      with the durable-linearizability checker
+//                      (harness/{history,linearize}.hpp).  Violations
+//                      exit non-zero and dump the failing histories to
+//                      REPRO_HISTORY_DUMP (default crash_history.jsonl
+//                      — the CI artifact; tests/test_corpus.cpp shows
+//                      the local replay).
 //   crash-lists/-q   — the PR2 wall-clock crash scenario kept as a
 //                      regression point: multi-threaded workload,
 //                      crash at an operation boundary, recover()
@@ -30,8 +42,8 @@
 
 namespace {
 
-int env_points(int fallback) {
-  if (const char* v = std::getenv("REPRO_FUZZ_POINTS")) {
+int env_points(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
     const long parsed = std::atol(v);
     if (parsed > 0) return static_cast<int>(parsed);
   }
@@ -49,7 +61,16 @@ int main(int argc, char** argv) {
       "shadow-NVM crash-point fuzzing, detectability verified per "
       "crash";
   fuzz.structures = {"trait:detectable"};
-  fuzz.crash_plan.points = env_points(200);
+  fuzz.crash_plan.points = env_points("REPRO_FUZZ_POINTS", 200);
+
+  ExperimentSpec conc;
+  conc.figure = "conc-fuzz";
+  conc.what =
+      "concurrent crash-point fuzzing, durable-linearizability "
+      "checked per crash";
+  conc.structures = {"trait:detectable"};
+  conc.conc_plan.points = env_points("REPRO_CONC_FUZZ_POINTS", 100);
+  conc.conc_plan.threads = env_points("REPRO_CONC_FUZZ_THREADS", 3);
 
   ExperimentSpec lists;
   lists.figure = "crash-lists";
@@ -76,6 +97,6 @@ int main(int argc, char** argv) {
   overhead.modes = {repro::pmem::Mode::count_only,
                     repro::pmem::Mode::shadow};
 
-  return repro::bench::experiment_main(argc, argv,
-                                       {fuzz, lists, queues, overhead});
+  return repro::bench::experiment_main(
+      argc, argv, {fuzz, conc, lists, queues, overhead});
 }

@@ -208,6 +208,11 @@ struct NullPolicy {
   void pre_publish(const void*) {}
   void pre_cas(const void*) {}
   void post_update(const void*, const void*) {}
+  // A durable word is about to become reachable through a shared hot
+  // pointer (the queue's tail swing): tracking policies must make it
+  // durable *now*, or effects other threads durably commit on top of
+  // it are orphaned by a crash (see MsQueueCore::enqueue).
+  void expose(const void*) {}
   void op_end(bool, std::uint64_t, bool) {}
 };
 

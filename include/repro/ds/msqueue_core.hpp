@@ -26,12 +26,22 @@
 namespace repro::ds {
 
 // One queue cell; shared by every policy instantiation so all MS-queue
-// variants draw from the same node pool.  Like ListNode, the link is a
-// pmem::persist word so shadow-NVM mode can rewind it to the durable
-// image on a simulated crash.
+// variants draw from the same node pool.  Both words are pmem::persist
+// cells and the constructor initialises them through store() rather
+// than member-init: persist<T> construction is never shadow-logged,
+// but these stores are, so a node created while a crash plan is armed
+// has durable baseline 0/nullptr until pre_publish flushes it.  That
+// is what makes an elided pre_publish *visible* to the crash engine —
+// a durable link can then reach a node whose payload rewinds to zero
+// (the REPRO_MUTATE_DROP_PREPUBLISH self-test relies on it).  Pool
+// cells are cache-line-aligned, so one pwb of the node covers both
+// words.
 struct QueueNode {
-  QueueNode(std::uint64_t v, QueueNode* n) : value(v), next(n) {}
-  std::uint64_t value;
+  QueueNode(std::uint64_t v, QueueNode* n) {
+    value.store(v, std::memory_order_relaxed);
+    next.store(n, std::memory_order_relaxed);
+  }
+  pmem::persist<std::uint64_t> value;
   pmem::persist<QueueNode*> next;
 };
 
@@ -71,8 +81,13 @@ class MsQueueCore {
     Node* node = Reclaimer::template create<Node>(value, nullptr);
     // Persist the initialised node before any durable link to it can
     // exist; its fields never change afterwards, so once is enough
-    // even across CAS retries.
+    // even across CAS retries.  REPRO_MUTATE_DROP_PREPUBLISH is the
+    // concurrent crash fuzzer's mutation self-test: eliding exactly
+    // this call lets a durable link reach a node whose payload was
+    // never persisted, and the fuzzer must report it.
+#ifndef REPRO_MUTATE_DROP_PREPUBLISH
     policy_.pre_publish(node);
+#endif
     while (true) {
       Node* last = tail_.load(std::memory_order_acquire);
       Node* next = last->next.load(std::memory_order_acquire);
@@ -85,11 +100,25 @@ class MsQueueCore {
           // The link CAS is the (durable) linearization point; the tail
           // swing below is volatile bookkeeping that recovery rebuilds.
           policy_.post_update(&last->next, node);
+          // Persist-link-before-tail-swing: once tail_ points at this
+          // node, other threads will append behind it and durably
+          // commit — if this link were still pending in a write-back
+          // queue, a crash would orphan every one of their effects
+          // (the durable chain would break here).  The concurrent
+          // crash fuzzer found exactly that tear; see expose() in the
+          // policies and the durable-queue literature (Friedman et
+          // al.) for the rule.
+          policy_.expose(&last->next);
           Node* expl = last;
           tail_.cas(expl, node);
           break;
         }
       } else {
+        // Helping a stalled enqueuer: the observed link may still be
+        // volatile-only (the enqueuer crashed or was preempted before
+        // exposing it).  Persist it before swinging tail past it, or
+        // the chain built on top of it is durably unreachable.
+        policy_.expose(&last->next);
         Node* expl = last;  // help a stalled enqueuer
         tail_.cas(expl, next);
       }
@@ -112,11 +141,15 @@ class MsQueueCore {
         break;
       }
       if (first == last) {
+        // Same rule as the enqueue helper: never swing tail past a
+        // link that is not yet durable.
+        policy_.expose(&first->next);
         Node* expl = last;  // tail lagging: help
         tail_.cas(expl, next);
         continue;
       }
-      const std::uint64_t value = next->value;
+      const std::uint64_t value =
+          next->value.load(std::memory_order_acquire);
       policy_.pre_cas(&head_);
       Node* expf = first;
       if (head_.cas(expf, next)) {
@@ -147,7 +180,7 @@ class MsQueueCore {
     while (c != nullptr) {
       if (++steps > max_steps) return false;  // cycle / runaway chain
       if (!mem::SlabDirectory::instance().owns(c)) return false;
-      out.push_back(c->value);
+      out.push_back(c->value.load());
       c = c->next.load();
     }
     return true;

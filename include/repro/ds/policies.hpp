@@ -77,6 +77,20 @@ class IsbPolicy {
     }
   }
 
+  // The link behind a tail swing must be durable before any thread
+  // can build on it: the concurrent crash fuzzer caught the torn
+  // durable chain a pending write-back leaves behind (an in-flight
+  // enqueuer's link lost while every later thread's fenced effects
+  // hang off it, durably unreachable).  On the success path
+  // post_update just pwb'd the word, so only the ordering fence is
+  // owed (+1 pfence per enqueue); on the helping path — a stalled
+  // enqueuer's link, observed but never ours to pwb — the full
+  // pwb+pfence fires, and only under contention.
+  void expose(const void* addr) {
+    if (!pmem::pwb_pending_mine(addr)) pmem::flush(addr);
+    pmem::fence();
+  }
+
   void op_end(bool ok, std::uint64_t result, bool) {
     PerThread& t = tls_[thread_slot()];
     if (t.op) {
@@ -138,6 +152,12 @@ class DtPolicy {
 #endif
   }
 
+  // See IsbPolicy::expose.
+  void expose(const void* addr) {
+    if (!pmem::pwb_pending_mine(addr)) pmem::flush(addr);
+    pmem::fence();
+  }
+
   void op_end(bool ok, std::uint64_t result, bool) {
     PerThread& t = tls_[thread_slot()];
     if (t.op) {
@@ -192,6 +212,11 @@ class CapsulesPolicy {
   // node's line persists with the capsule machinery, so no extra
   // pre-publication instructions are counted for this transformation.
   void pre_publish(const void*) {}
+
+  // Capsules recovery replays from the persisted continuation, not
+  // from structure reachability, so exposure needs no extra
+  // instructions (keeping the paper's instruction counts intact).
+  void expose(const void*) {}
 
   void pre_cas(const void*) {
     Capsule& c = tls_[thread_slot()].cap;
@@ -257,6 +282,10 @@ class LogPolicy {
   void visit(const void*, bool) {}
   void pre_publish(const void*) {}
   void pre_cas(const void*) {}
+  // Log recovery replays from the per-thread operation log, not from
+  // structure reachability: no exposure instructions (paper counts
+  // intact).
+  void expose(const void*) {}
 
   void post_update(const void* primary, const void*) {
     pmem::flush(primary);

@@ -1,9 +1,21 @@
-// Crash-point fuzzer: the dynamic half of the crash-simulation engine.
+// Crash-point fuzzers: the dynamic half of the crash-simulation
+// engine.  Two drivers share the shadow-NVM machinery:
 //
-// One fuzz iteration builds a fresh structure, prefills it, switches
-// the pmem layer into shadow-NVM mode, arms a crash at a PRNG-chosen
-// persistence-instruction boundary (pmem/crash.hpp), and drives a
-// deterministic single-threaded workload until the crash fires.  The
+//   fuzz_one / fuzz_structure — the deterministic single-threaded
+//     driver (below), verifying the descriptor-level detectability
+//     contract D1-D4 against an exact op-by-op model.
+//   concurrent_fuzz_one / concurrent_fuzz_structure — the
+//     multi-threaded driver (end of this header): N racing workers
+//     recorded into a history (harness/history.hpp), a crash armed at
+//     a persistence-instruction boundary that lands on whichever
+//     thread issues it, and the durable image verified by the
+//     durable-linearizability checker (harness/linearize.hpp).
+//
+// One single-threaded fuzz iteration builds a fresh structure,
+// prefills it, switches the pmem layer into shadow-NVM mode, arms a
+// crash at a PRNG-chosen persistence-instruction boundary
+// (pmem/crash.hpp), and drives a deterministic single-threaded
+// workload until the crash fires.  The
 // simulated power failure then rewinds every tracked word to the
 // durable image (pmem/shadow.hpp, adversarial fidelity: write-backs
 // pending at the crash complete or not per the same PRNG), and the
@@ -50,9 +62,12 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "repro/ds/detectable.hpp"
+#include "repro/harness/history.hpp"
+#include "repro/harness/linearize.hpp"
 #include "repro/harness/registry.hpp"
 #include "repro/harness/runner.hpp"
 #include "repro/harness/workload.hpp"
@@ -117,20 +132,9 @@ struct OpRec {
   bool mutating = false;  // insert/erase/enqueue/dequeue/push/pop
 };
 
-inline const char* kind_str(ds::OpKind k) {
-  switch (k) {
-    case ds::OpKind::none: return "none";
-    case ds::OpKind::insert: return "insert";
-    case ds::OpKind::erase: return "erase";
-    case ds::OpKind::find: return "find";
-    case ds::OpKind::enqueue: return "enqueue";
-    case ds::OpKind::dequeue: return "dequeue";
-    case ds::OpKind::push: return "push";
-    case ds::OpKind::pop: return "pop";
-    case ds::OpKind::exchange: return "exchange";
-  }
-  return "?";
-}
+// One OpKind-to-string mapping for the whole harness: history.hpp's
+// op_kind_name (already in scope via the include above).
+using harness::op_kind_name;
 
 // Contents models.  The set model mirrors a list's logical key set;
 // the queue model mirrors values front to back.
@@ -420,7 +424,7 @@ inline void fuzz_one(const AlgoEntry& algo, const CrashPlan& plan,
                     rec.result == model.values.front()));
             }
             if (!response_ok) {
-              fail(std::string("in-flight ") + kind_str(inflight.kind) +
+              fail(std::string("in-flight ") + op_kind_name(inflight.kind) +
                    " committed durably but its response/effect "
                    "disagree with the durable contents");
             }
@@ -472,7 +476,7 @@ inline void fuzz_one(const AlgoEntry& algo, const CrashPlan& plan,
           if (!rec.completed || rec.kind != m.kind || rec.key != m.key ||
               rec.ok != m.ok || rec.result != m.result) {
             fail(std::string("durable descriptor for completed ") +
-                 kind_str(m.kind) +
+                 op_kind_name(m.kind) +
                  " lost or corrupted its response");
           }
           for (std::size_t j = static_cast<std::size_t>(match) + 1;
@@ -534,6 +538,403 @@ inline void write_reproducer(const FuzzReport& report,
         static_cast<unsigned long long>(x.base_seed),
         static_cast<unsigned long long>(x.crash_point), x.iteration,
         x.what.c_str());
+  }
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent crash-point fuzzing.
+//
+// One iteration spawns `threads` racing workers over one structure,
+// each recorded into its own history lane; the armed crash lands on
+// whichever thread issues the chosen persistence instruction, the
+// power-failed latch (pmem/crash.hpp) stops every other worker at its
+// next tracked store or persistence instruction, and operations on
+// pure-load paths are cut off by the recording adapters'
+// crash::check().  After the workers unwind, the durable image is
+// rewound and verified by the durable-linearizability checker: every
+// completed op must linearize with its observed response, each
+// thread's pending-at-crash op linearizes as `must` (with the
+// descriptor's response, inside the durable cut if effectful) iff its
+// recovery descriptor reports completed-with-response, else `may`,
+// and for structures with a snapshot surface the walked durable
+// contents must equal the cut prefix's state (buffered durable
+// linearizability — see linearize.hpp for why the cut, not the end).
+//
+// Unlike the single-threaded driver, a {seed, crash_point} pair does
+// not replay the interleaving bit-for-bit — the schedule is the
+// dimension being explored — so failures carry the *recorded history*
+// (JSONL), which re-checks deterministically: the same events always
+// produce the same verdict.  Iterations where the countdown outlives
+// the workload still run the checker as a plain concurrent
+// linearizability test (no durable constraint).
+// ---------------------------------------------------------------------
+
+struct ConcurrentCrashPlan {
+  int threads = 3;
+  int ops_per_thread = 10;  // threads * ops_per_thread must stay <= 128
+  std::uint64_t seed = 0;   // 0 → global_seed() (REPRO_SEED)
+  int points = 0;           // fuzz iterations per structure; 0 → off
+  // Horizon for the random crash-point draw; sized so most draws land
+  // inside the workload's persistence-instruction stream.
+  std::uint64_t max_events = 160;
+  pmem::shadow::CrashFidelity fidelity =
+      pmem::shadow::CrashFidelity::adversarial;
+  std::uint64_t checker_states = 4'000'000;  // DFS node budget
+
+  std::uint64_t effective_seed() const {
+    return seed != 0 ? seed : global_seed();
+  }
+};
+
+// One confirmed violation.  The history replays deterministically
+// through the checker (tests/test_corpus.cpp shows how); {base_seed,
+// iteration} re-runs the same workload draws, though not the same
+// thread interleaving.
+struct ConcurrentFuzzFailure {
+  std::string structure;
+  std::uint64_t seed = 0;         // iteration seed
+  std::uint64_t base_seed = 0;    // the run's plan seed
+  std::uint64_t crash_point = 0;  // persistence-instruction index
+  int threads = 0;
+  int iteration = -1;
+  std::string what;
+  std::string history_jsonl;  // metadata line + recorded events
+};
+
+struct ConcurrentFuzzReport {
+  int points = 0;      // iterations executed
+  int crashes = 0;     // iterations where the crash actually fired
+  int violations = 0;  // checker/walk failures (0 == pass)
+  int undecided = 0;   // checker state-budget exhaustions (not failures)
+  std::uint64_t total_ops = 0;       // history ops across iterations
+  std::uint64_t checker_states = 0;  // DFS nodes across iterations
+  double recovery_us_total = 0;
+  std::vector<ConcurrentFuzzFailure> failures;  // first few
+};
+
+// Runs one concurrent fuzz iteration.  `crash_point` of 0 lets the
+// iteration's own PRNG draw it (as concurrent_fuzz_structure does).
+inline void concurrent_fuzz_one(const AlgoEntry& algo,
+                                const ConcurrentCrashPlan& plan,
+                                std::uint64_t iter_seed,
+                                std::uint64_t crash_point, int iteration,
+                                ConcurrentFuzzReport& report) {
+  namespace shadow = pmem::shadow;
+
+  Rng rng(iter_seed);
+  // Drawn unconditionally so an explicit crash_point replays the same
+  // downstream prefill draws (same convention as fuzz_one).
+  const std::uint64_t drawn = 1 + rng.below(plan.max_events);
+  if (crash_point == 0) crash_point = drawn;
+
+  ++report.points;
+  {
+  mem::ReclaimPause pause;
+  auto holder = algo.make();
+  Structure* s = holder.get();
+  const bool is_set = algo.kind == Kind::set;
+  const bool is_queue = algo.kind == Kind::queue;
+  auto* set = is_set ? dynamic_cast<SetIface*>(s) : nullptr;
+  auto* queue = is_queue ? dynamic_cast<QueueIface*>(s) : nullptr;
+  auto* stack =
+      algo.kind == Kind::stack ? dynamic_cast<StackIface*>(s) : nullptr;
+  auto* ex = algo.kind == Kind::exchanger
+                 ? dynamic_cast<ExchangerIface*>(s)
+                 : nullptr;
+  const bool contents_checked = s->has_snapshot() &&
+                                (is_set || is_queue) &&
+                                !algo.has_trait("no-reclaim");
+
+  lin::Spec spec;
+  spec.kind = is_set      ? lin::Semantics::set
+              : is_queue  ? lin::Semantics::queue
+              : stack != nullptr ? lin::Semantics::stack
+                                 : lin::Semantics::exchanger;
+  spec.max_states = plan.checker_states;
+
+  // Prefill before shadow tracking starts: durable by construction.
+  constexpr std::int64_t kKeyRange = 24;
+  if (set != nullptr) {
+    for (std::int64_t k = 1; k <= kKeyRange; ++k) {
+      if (rng.below(2) == 0 && set->insert(k)) {
+        spec.initial_keys.push_back(k);
+      }
+    }
+  } else if (queue != nullptr) {
+    for (std::uint64_t v = 1; v <= 6; ++v) {
+      queue->enqueue(v);
+      spec.initial_values.push_back(v);
+    }
+  } else if (stack != nullptr) {
+    for (std::uint64_t v = 1; v <= 6; ++v) {
+      stack->push(v);
+      spec.initial_values.push_back(v);
+    }
+  }
+
+  // Clamp to the checker's 128-op mask: a misconfigured plan
+  // (REPRO_CONC_FUZZ_THREADS cranked up) must shrink the per-thread
+  // budget rather than silently turn every verdict into
+  // budget_exhausted — an "undecided" gate that can't fail verifies
+  // nothing.
+  const int nthreads = std::clamp(plan.threads, 1, 64);
+  const int ops_per_thread =
+      std::clamp(plan.ops_per_thread, 1, 128 / nthreads);
+  HistoryRecorder rec(nthreads,
+                      static_cast<std::size_t>(ops_per_thread));
+
+  // Worker values are unique per iteration ((lane+1)*100 + op, all
+  // above the prefill range) so FIFO/LIFO order violations — and the
+  // zero/stale payloads a dropped pre_publish leaves durable — cannot
+  // alias a legitimate value.
+  auto value_for = [](int lane, int op) {
+    return static_cast<std::uint64_t>((lane + 1) * 100 + op);
+  };
+
+  struct alignas(64) WorkerState {
+    int slot = -1;
+    std::uint64_t seq_before = 0;  // board seq after the last response
+  };
+  std::vector<WorkerState> ws(static_cast<std::size_t>(nthreads));
+
+  bool crashed = false;
+  {
+    pmem::ModeGuard mode(pmem::Mode::shadow);
+    shadow::reset();
+    pmem::crash::arm(crash_point);
+    {
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(nthreads));
+      for (int t = 0; t < nthreads; ++t) {
+        workers.emplace_back([&, t] {
+          WorkerState& w = ws[static_cast<std::size_t>(t)];
+          w.slot = ds::thread_slot();
+          // Own-slot descriptor reads are race-free: only this thread
+          // writes it.
+          w.seq_before = s->recover(w.slot).seq;
+          Rng wrng(mix_seed(iter_seed, 0x777u + static_cast<std::uint64_t>(t)));
+          try {
+            if (set != nullptr) {
+              RecordedSet r(*set, rec, t);
+              for (int o = 0; o < ops_per_thread; ++o) {
+                if (pmem::crash::crashed()) break;
+                const auto key = static_cast<std::int64_t>(
+                    1 + wrng.below(static_cast<std::uint64_t>(kKeyRange)));
+                const std::uint64_t dice = wrng.below(10);
+                if (dice < 4) {
+                  r.insert(key);
+                } else if (dice < 8) {
+                  r.erase(key);
+                } else {
+                  r.find(key);
+                }
+                w.seq_before = s->recover(w.slot).seq;
+              }
+            } else if (queue != nullptr) {
+              RecordedQueue r(*queue, rec, t);
+              for (int o = 0; o < ops_per_thread; ++o) {
+                if (pmem::crash::crashed()) break;
+                if (wrng.below(2) == 0) {
+                  r.enqueue(value_for(t, o));
+                } else {
+                  std::uint64_t out = 0;
+                  r.dequeue(out);
+                }
+                w.seq_before = s->recover(w.slot).seq;
+              }
+            } else if (stack != nullptr) {
+              RecordedStack r(*stack, rec, t);
+              for (int o = 0; o < ops_per_thread; ++o) {
+                if (pmem::crash::crashed()) break;
+                if (wrng.below(2) == 0) {
+                  r.push(value_for(t, o));
+                } else {
+                  std::uint64_t out = 0;
+                  r.pop(out);
+                }
+                w.seq_before = s->recover(w.slot).seq;
+              }
+            } else {
+              RecordedExchanger r(*ex, rec, t);
+              for (int o = 0; o < ops_per_thread; ++o) {
+                if (pmem::crash::crashed()) break;
+                std::uint64_t out = 0;
+                r.exchange(value_for(t, o), 24, out);
+                w.seq_before = s->recover(w.slot).seq;
+              }
+            }
+          } catch (const pmem::crash::CrashUnwind&) {
+            // The lane's last invoke stays dangling: pending at crash.
+          }
+        });
+      }
+      for (std::thread& th : workers) th.join();
+    }
+    crashed = pmem::crash::crashed();
+    pmem::crash::disarm();
+
+    std::vector<lin::Op> ops = lin::ops_from_history(rec);
+
+    auto fail = [&](const std::string& what) {
+      ++report.violations;
+      if (report.failures.size() < 4) {
+        ConcurrentFuzzFailure f;
+        f.structure = algo.name;
+        f.seed = iter_seed;
+        f.base_seed = plan.effective_seed();
+        f.crash_point = crash_point;
+        f.threads = nthreads;
+        f.iteration = iteration;
+        f.what = what;
+        // Built as a string, not a fixed buffer: `what` carries the
+        // checker verdict, the durable image, and per-lane descriptor
+        // diagnostics — truncating the artifact's framing line would
+        // lose exactly the fields it exists to carry.
+        std::string meta = "{\"structure\":\"" + algo.name +
+                           "\",\"seed\":" + std::to_string(iter_seed) +
+                           ",\"base_seed\":" +
+                           std::to_string(plan.effective_seed()) +
+                           ",\"crash_point\":" +
+                           std::to_string(crash_point) +
+                           ",\"threads\":" + std::to_string(nthreads) +
+                           ",\"iteration\":" + std::to_string(iteration) +
+                           ",\"what\":\"" + what + "\"}\n";
+        f.history_jsonl = meta + rec.to_jsonl();
+        report.failures.push_back(std::move(f));
+      }
+    };
+
+    bool walk_failed = false;
+    std::string crash_diag;
+    if (crashed) {
+      ++report.crashes;
+      rec.mark_crash();
+      // Power failure: rewind to the durable image (per-line coin as
+      // in the single-threaded driver).
+      Rng coin_rng(mix_seed(iter_seed, crash_point));
+      shadow::crash(plan.fidelity,
+                    [&coin_rng] { return coin_rng.below(2) == 0; });
+
+      const auto t0 = std::chrono::steady_clock::now();
+      // Upgrade pending verdicts from the durable descriptors: a
+      // descriptor that durably reports the in-flight op (seq_before+1)
+      // completed-with-response makes it a `must` with that response —
+      // the paper's detectability contract.  Anything else stays `may`.
+      for (int t = 0; t < nthreads; ++t) {
+        lin::Op* pend = nullptr;
+        for (lin::Op& op : ops) {
+          if (op.lane == t && op.response_ts == lin::kNever) pend = &op;
+        }
+        if (pend == nullptr) continue;
+        const WorkerState& w = ws[static_cast<std::size_t>(t)];
+        if (w.slot < 0) continue;
+        const ds::Recovered d = s->recover(w.slot);
+        if (d.seq == w.seq_before + 1 && d.completed &&
+            d.kind == pend->kind && d.key == pend->input) {
+          pend->pending = lin::Pending::must;
+          pend->ok = d.ok;
+          pend->result = d.result;
+        }
+        char diag[128];
+        std::snprintf(diag, sizeof(diag),
+                      "; lane %d pending %s(%lld) verdict=%s ok=%d "
+                      "result=%llu",
+                      t, op_kind_name(pend->kind),
+                      static_cast<long long>(pend->input),
+                      pend->pending == lin::Pending::must ? "must"
+                                                          : "may",
+                      pend->ok ? 1 : 0,
+                      static_cast<unsigned long long>(pend->result));
+        crash_diag += diag;
+      }
+      report.recovery_us_total +=
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+
+      // Durable contents, walked while the structure physically holds
+      // the durable image.
+      if (contents_checked) {
+        const bool walk_ok = is_set
+                                 ? s->snapshot_keys(spec.durable_keys)
+                                 : s->snapshot_values(spec.durable_values);
+        if (walk_ok) {
+          spec.check_durable = true;
+        } else {
+          walk_failed = true;
+          fail("durable image walk failed: link into never-persisted "
+               "memory or a cycle");
+        }
+      }
+    }
+
+    if (!walk_failed) {
+      const lin::Result res = lin::check(ops, spec);
+      report.checker_states += res.states;
+      if (res.verdict == lin::Verdict::violation) {
+        // The walked durable image is part of the verdict's input;
+        // carry it in the diagnostic so a dumped failure is
+        // self-contained.
+        std::string what = res.what;
+        if (spec.check_durable) {
+          what += "; durable image = [";
+          bool first = true;
+          if (is_set) {
+            for (std::int64_t k : spec.durable_keys) {
+              what += (first ? "" : " ") + std::to_string(k);
+              first = false;
+            }
+          } else {
+            for (std::uint64_t v : spec.durable_values) {
+              what += (first ? "" : " ") + std::to_string(v);
+              first = false;
+            }
+          }
+          what += "]";
+        }
+        fail(what + crash_diag);
+      } else if (res.verdict == lin::Verdict::budget_exhausted) {
+        ++report.undecided;
+      }
+    }
+    report.total_ops += ops.size();
+
+    if (crashed) shadow::uncrash();
+    shadow::reset();
+  }
+  holder.reset();
+  }  // ReclaimPause ends here
+  mem::EpochDomain::instance().quiesce();
+}
+
+// Fuzzes one structure across plan.points concurrent crash points.
+// The seed stream is salted away from fuzz_structure's so running both
+// drivers off one REPRO_SEED explores different workloads.
+inline ConcurrentFuzzReport concurrent_fuzz_structure(
+    const AlgoEntry& algo, const ConcurrentCrashPlan& plan) {
+  ConcurrentFuzzReport report;
+  const std::uint64_t base = plan.effective_seed();
+  for (int i = 0; i < plan.points; ++i) {
+    concurrent_fuzz_one(
+        algo, plan,
+        mix_seed(base, 0xC0C0'0000ull + static_cast<std::uint64_t>(i)),
+        0, i, report);
+  }
+  return report;
+}
+
+// Appends the failing histories (metadata line + JSONL events each) —
+// the concurrent-fuzz CI artifact.  Same truncate-once-per-process
+// convention as write_reproducer.
+inline void write_history_dump(const ConcurrentFuzzReport& report,
+                               const std::string& path) {
+  static bool truncated_once = false;
+  std::FILE* f = std::fopen(path.c_str(), truncated_once ? "a" : "w");
+  if (f == nullptr) return;
+  truncated_once = true;
+  for (const ConcurrentFuzzFailure& x : report.failures) {
+    std::fwrite(x.history_jsonl.data(), 1, x.history_jsonl.size(), f);
   }
   std::fclose(f);
 }

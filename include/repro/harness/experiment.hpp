@@ -89,8 +89,14 @@ struct ExperimentSpec {
   // selected trait:detectable structure into one single-threaded
   // shadow-NVM fuzz point.  Mutually exclusive with crash_after_ms.
   CrashPlan crash_plan;
+  // Concurrent crash-point fuzzing with the durable-linearizability
+  // checker: conc_plan.points > 0 turns every selected
+  // trait:detectable structure into one multi-threaded fuzz point.
+  // Mutually exclusive with the other crash dimensions.
+  ConcurrentCrashPlan conc_plan;
 
   bool is_crash_fuzz() const { return crash_plan.points > 0; }
+  bool is_conc_fuzz() const { return conc_plan.points > 0; }
 };
 
 // One expanded grid point.
@@ -145,9 +151,10 @@ inline std::vector<const AlgoEntry*> selected_structures(
          (algo->kind != Kind::set && algo->kind != Kind::queue))) {
       continue;
     }
-    // The fuzzer covers every kind, but only structures speaking the
+    // The fuzzers cover every kind, but only structures speaking the
     // announcement-board protocol can be verified.
-    if (spec.is_crash_fuzz() && !algo->has_trait("detectable")) {
+    if ((spec.is_crash_fuzz() || spec.is_conc_fuzz()) &&
+        !algo->has_trait("detectable")) {
       continue;
     }
     out.push_back(algo);
@@ -169,14 +176,15 @@ inline std::vector<Point> expand(const ExperimentSpec& spec) {
 
   const std::vector<const AlgoEntry*> algos = selected_structures(spec);
 
-  // Crash-point fuzzing is single-threaded and drives its own pmem
-  // mode (shadow) and workload: exactly one point per structure.
-  if (spec.is_crash_fuzz()) {
+  // Crash-point fuzzing drives its own pmem mode (shadow) and
+  // workload: exactly one point per structure, at the fuzzer's thread
+  // count (1 for the single-threaded driver).
+  if (spec.is_crash_fuzz() || spec.is_conc_fuzz()) {
     for (const AlgoEntry* algo : algos) {
       Point p;
       p.algo = algo;
       p.mode = pmem::Mode::shadow;
-      p.threads = 1;
+      p.threads = spec.is_conc_fuzz() ? spec.conc_plan.threads : 1;
       points.push_back(p);
     }
     return points;
@@ -236,6 +244,10 @@ inline std::string point_scenario(const ExperimentSpec& spec,
   }
   if (spec.is_crash_fuzz()) {
     s += " fuzz=" + std::to_string(spec.crash_plan.points);
+  }
+  if (spec.is_conc_fuzz()) {
+    s += " conc-fuzz=" + std::to_string(spec.conc_plan.points) + "x" +
+         std::to_string(spec.conc_plan.threads) + "t";
   }
   return s;
 }
@@ -428,12 +440,57 @@ inline ResultRow run_point(const ExperimentSpec& spec, const Point& p) {
   row.algo = p.algo->name;
   row.mode = mode_name(p.mode);
   row.scenario = point_scenario(spec, p);
-  row.seed = spec.is_crash_fuzz() ? spec.crash_plan.effective_seed()
-                                  : global_seed();
+  row.seed = spec.is_crash_fuzz()  ? spec.crash_plan.effective_seed()
+             : spec.is_conc_fuzz() ? spec.conc_plan.effective_seed()
+                                   : global_seed();
   if (p.has_mix) {
     row.dist = key_dist_name(spec.dist);
     row.key_range = p.key_range;
     row.mix = p.mix.name;
+  }
+
+  if (spec.is_conc_fuzz()) {
+    // The concurrent fuzzer manages the pmem mode per iteration
+    // itself; violations carry their recorded history (the CI
+    // artifact) rather than a bit-for-bit {seed, crash_point} replay.
+    const ConcurrentFuzzReport rep =
+        concurrent_fuzz_structure(*p.algo, spec.conc_plan);
+    row.run.total_ops = rep.total_ops;
+    row.run.threads = spec.conc_plan.threads;
+    row.crash_points = rep.points;
+    row.crash_violations = rep.violations;
+    if (rep.crashes > 0) {
+      row.recovery_us = rep.recovery_us_total / rep.crashes;
+    }
+    if (rep.undecided > 0) {
+      std::fprintf(stderr,
+                   "repro: %s: %d concurrent fuzz point(s) exhausted "
+                   "the checker state budget (undecided, not failed)\n",
+                   p.algo->name.c_str(), rep.undecided);
+    }
+    if (rep.violations > 0) {
+      detail::crash_failure_cell().fetch_add(rep.violations,
+                                             std::memory_order_relaxed);
+      for (const ConcurrentFuzzFailure& f : rep.failures) {
+        std::fprintf(
+            stderr,
+            "repro: %s: durable-linearizability violation at "
+            "{seed=%llu, crash_point=%llu, threads=%d} "
+            "(REPRO_SEED=%llu, iteration %d): %s\n",
+            f.structure.c_str(),
+            static_cast<unsigned long long>(f.seed),
+            static_cast<unsigned long long>(f.crash_point), f.threads,
+            static_cast<unsigned long long>(f.base_seed), f.iteration,
+            f.what.c_str());
+      }
+      const char* dump_path = std::getenv("REPRO_HISTORY_DUMP");
+      write_history_dump(rep, dump_path != nullptr && dump_path[0]
+                                  ? dump_path
+                                  : "crash_history.jsonl");
+    }
+    row.run.point_index =
+        detail::point_counter().fetch_add(1, std::memory_order_relaxed);
+    return row;
   }
 
   if (spec.is_crash_fuzz()) {

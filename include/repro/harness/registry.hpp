@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -295,14 +296,16 @@ class Registry {
   }
 
   // Union over selectors, de-duplicated, selector order preserved.
+  // Membership is tracked in a pointer set so N overlapping selectors
+  // over an R-entry registry cost O(N·R) instead of the quadratic
+  // every-entry-against-every-kept scan this used to do.
   std::vector<const AlgoEntry*> select_all(
       const std::vector<std::string>& selectors) const {
     std::vector<const AlgoEntry*> out;
+    std::unordered_set<const AlgoEntry*> seen;
     for (const auto& sel : selectors) {
       for (const AlgoEntry* e : select(sel)) {
-        bool seen = false;
-        for (const AlgoEntry* p : out) seen = seen || p == e;
-        if (!seen) out.push_back(e);
+        if (seen.insert(e).second) out.push_back(e);
       }
     }
     return out;

@@ -138,13 +138,27 @@ class NodePool {
     return p;
   }
 
-  // Allocate a cell and construct a T in it.
+  // Allocate a cell and construct a T in it.  A throwing constructor
+  // returns the cell to the free list instead of leaking it: node
+  // constructors issue shadow-logged stores (QueueNode), which unwind
+  // with CrashUnwind once a simulated crash has latched — without the
+  // rollback every crashed fuzz iteration would leak cells and drift
+  // the outstanding-blocks accounting.
   template <typename... Args>
   T* create(Args&&... args) {
     void* cell = alloc_cell();
     ++detail::tl_stats.allocs;
     detail::outstanding_cell().fetch_add(1, std::memory_order_relaxed);
-    return ::new (cell) T(std::forward<Args>(args)...);
+    try {
+      return ::new (cell) T(std::forward<Args>(args)...);
+    } catch (...) {
+      auto* fc = reinterpret_cast<FreeCell*>(cell);
+      Shard& sh = shards_[ds::thread_slot()];
+      fc->next = sh.free;
+      sh.free = fc;
+      detail::outstanding_cell().fetch_sub(1, std::memory_order_relaxed);
+      throw;
+    }
   }
 
   // Destroy a T and return its cell to the calling thread's free list.

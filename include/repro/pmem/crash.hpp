@@ -4,14 +4,20 @@
 // pwb/pfence/psync issued while armed decrements it, and when it hits
 // zero the instruction about to execute instead throws CrashUnwind —
 // modelling power failing at that instruction boundary, before its
-// effect.  The throw disarms the plan first, so persistence
-// instructions issued while the stack unwinds (or afterwards, during
-// verification) cannot fire a second crash.
+// effect.  The throw latches the process-wide `crashed` flag first:
+// once power has failed, *every* thread's next persistence instruction
+// (and, in shadow mode, every tracked store — persist<T> consults
+// check()) throws too, so concurrent workers stop advancing the
+// durable image the instant the crash fires rather than racing commits
+// past it.  disarm() clears both the countdown and the latch; the fuzz
+// drivers call it after all workers have unwound, before verification.
 //
-// The counter is process-global and the fuzzer drives it from a single
-// thread; that is what makes a {seed, crash_point} pair replayable
-// bit-for-bit.  Arming from concurrent measurement threads is not a
-// supported mode (the shadow-overhead benches run un-armed).
+// The counter is process-global.  Driven from a single thread a
+// {seed, crash_point} pair replays bit-for-bit; driven from concurrent
+// workers (the multi-threaded fuzzer) the countdown lands on whichever
+// thread issues the n-th instruction — the schedule dimension the
+// concurrent fuzzer deliberately explores, verified per-run against
+// the recorded history rather than replayed.
 #pragma once
 
 #include <atomic>
@@ -31,6 +37,10 @@ inline std::atomic<bool>& armed_cell() {
   static std::atomic<bool> a{false};
   return a;
 }
+inline std::atomic<bool>& crashed_cell() {
+  static std::atomic<bool> c{false};
+  return c;
+}
 inline std::atomic<std::uint64_t>& remaining_cell() {
   static std::atomic<std::uint64_t> r{0};
   return r;
@@ -42,7 +52,19 @@ inline std::atomic<std::uint64_t>& seen_cell() {
 }  // namespace detail
 
 inline bool armed() {
-  return detail::armed_cell().load(std::memory_order_relaxed);
+  // Acquire: reading the firing thread's release-store of false makes
+  // its prior crashed-latch store visible (see on_instruction).
+  return detail::armed_cell().load(std::memory_order_acquire);
+}
+
+// The power-failed latch: set by the instruction that hit the armed
+// countdown, cleared by disarm().  While set, the simulated machine is
+// off — workers checking it (directly or via on_instruction/check)
+// unwind instead of executing.  Acquire pairs with the firing thread's
+// release stores so the latch-then-disarm order below is visible in
+// that order.
+inline bool crashed() {
+  return detail::crashed_cell().load(std::memory_order_acquire);
 }
 
 // Instructions observed since the last arm().
@@ -54,21 +76,45 @@ inline std::uint64_t events() {
 // execute (n >= 1).  The first n-1 instructions run normally.
 inline void arm(std::uint64_t n) {
   detail::seen_cell().store(0, std::memory_order_relaxed);
+  detail::crashed_cell().store(false, std::memory_order_relaxed);
   detail::remaining_cell().store(n, std::memory_order_relaxed);
   detail::armed_cell().store(n > 0, std::memory_order_relaxed);
 }
 
+// Power restored: clears the countdown and the crashed latch.  The
+// fuzz drivers call this once every worker has unwound; verification
+// and teardown then run persistence instructions normally.
 inline void disarm() {
   detail::armed_cell().store(false, std::memory_order_relaxed);
+  detail::crashed_cell().store(false, std::memory_order_relaxed);
+}
+
+// Cheap post-crash guard for paths that are not persistence
+// instructions but must not run on a powered-off machine (shadow-mode
+// tracked stores): throws iff the crash already fired.
+inline void check() {
+  if (crashed()) throw CrashUnwind{events()};
 }
 
 // Called at the top of pmem::flush/fence/psync, before any effect.
 inline void on_instruction() {
-  if (!armed()) return;
+  check();
+  if (!armed()) {
+    // Close the latch race: another thread may have fired the crash
+    // between the two loads above, clearing `armed` before this
+    // thread observed `crashed`.  The firing order below latches
+    // crashed (release) *before* clearing armed, so an armed()==false
+    // read that raced the crash is guaranteed to see the latch here —
+    // without this, a worker could slip one persistence instruction
+    // (committing durable state) past the power failure.
+    check();
+    return;
+  }
   const std::uint64_t left =
       detail::remaining_cell().fetch_sub(1, std::memory_order_relaxed);
   if (left <= 1) {
-    disarm();
+    detail::crashed_cell().store(true, std::memory_order_release);
+    detail::armed_cell().store(false, std::memory_order_release);
     throw CrashUnwind{events()};
   }
   detail::seen_cell().fetch_add(1, std::memory_order_relaxed);

@@ -196,6 +196,23 @@ inline void flush(const void* addr) {
 
 inline void pwb(const void* addr) { flush(addr); }
 
+// Whether `addr`'s line already has a write-back pending in THIS
+// thread's coalescing window — i.e. a pwb this thread issued that its
+// next fence will commit.  Lets a caller that needs "this word durable
+// after my next fence" (IsbPolicy::expose) skip a redundant pwb
+// instead of re-issuing one, keeping the paper's per-op instruction
+// counts tight.  Always false with coalescing disabled (the window is
+// bypassed), in which case the caller issues the pwb and counts it.
+inline bool pwb_pending_mine(const void* addr) {
+  const auto line =
+      reinterpret_cast<std::uintptr_t>(addr) & detail::kFlushLineMask;
+  const detail::FlushBuffer& b = detail::tl_flushbuf;
+  for (std::size_t i = 0; i < b.n; ++i) {
+    if (b.lines[i] == line) return true;
+  }
+  return false;
+}
+
 // pfence: order preceding pwbs before subsequent stores.  Pending
 // coalesced write-backs execute here, at the window boundary.
 inline void fence() {
@@ -309,6 +326,12 @@ class persist {
         from_bits(bits), std::memory_order_relaxed);
   }
   void shadow_log() {
+    // A store on a powered-off machine must not execute: once the
+    // armed crash has fired, every thread's next tracked mutation
+    // unwinds (crash::check throws) instead of racing the post-crash
+    // verification with new volatile state.  Stores before the crash
+    // are logged and proceed.
+    crash::check();
     shadow::on_store(&cell_,
                      to_bits(cell_.load(std::memory_order_relaxed)),
                      &persist::shadow_load, &persist::shadow_store);

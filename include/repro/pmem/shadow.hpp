@@ -210,7 +210,13 @@ inline void on_store(void* cell, std::uint64_t prior, LoadFn load,
 }
 
 // pwb issued for `addr`'s line (called from pmem::flush while enabled,
-// coalesced or not — issuing is what marks the line flushable).
+// coalesced or not — issuing is what marks the line flushable).  The
+// line lands in the *issuing* thread's pending list even when another
+// thread's pwb already marked it: on real hardware my clwb + my sfence
+// makes the line durable no matter whose write-back raced mine, and a
+// helper persisting a stalled thread's link (MsQueueCore's expose
+// rule) relies on exactly that.  Duplicates within one thread's list
+// are possible and harmless — commit_line is idempotent.
 inline void on_pwb(const void* addr) {
   const std::uintptr_t line =
       reinterpret_cast<std::uintptr_t>(addr) & detail::kLineMask;
@@ -220,7 +226,6 @@ inline void on_pwb(const void* addr) {
     std::lock_guard<std::mutex> lock(sh.mu);
     auto it = sh.lines.find(line);
     if (it == sh.lines.end()) return;  // no tracked words on this line
-    if (it->second.pending) return;    // already marked (duplicate pwb)
     it->second.pending = true;
   }
   detail::tl_pending().lines.push_back(line);

@@ -178,11 +178,17 @@ TEST_F(ShadowNvm, CrashFiresAtTheArmedInstructionBoundary) {
   w.store(2);        // stores are not persistence instructions
   pmem::flush(&w);   // instruction 1: executes
   EXPECT_THROW(pmem::fence(), crash::CrashUnwind);  // instruction 2
-  EXPECT_FALSE(crash::armed());  // disarmed by the throw
+  EXPECT_FALSE(crash::armed());   // countdown consumed by the throw
+  EXPECT_TRUE(crash::crashed());  // power stays failed until disarm()
+  // The machine is off: every further persistence instruction (any
+  // thread's) unwinds too, so concurrent workers cannot commit past
+  // the crash.
+  EXPECT_THROW(pmem::fence(), crash::CrashUnwind);
   // The fence never executed: the pwb stayed pending.
   shadow::crash_strict();
   EXPECT_EQ(w.load(), 1u);
-  pmem::fence();  // disarmed: runs normally
+  crash::disarm();  // power restored
+  pmem::fence();    // runs normally again
 }
 
 // ---------------------------------------------------------------------

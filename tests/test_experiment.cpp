@@ -5,6 +5,7 @@
 // recover() as either completed-with-response or not-applied).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <sstream>
@@ -70,6 +71,34 @@ TEST(Registry, SelectAllDeduplicatesPreservingOrder) {
   const auto sel = reg.select_all({"Isb", "trait:paper-list"});
   ASSERT_EQ(sel.size(), 5u);
   EXPECT_EQ(sel[0]->name, "Isb");
+}
+
+TEST(Registry, SelectAllDedupsHeavilyOverlappingSelectors) {
+  // Every selector here re-matches entries earlier ones already kept
+  // (the worst case for the old quadratic every-entry-against-every-
+  // kept scan, now a pointer-set membership check): the union must
+  // contain each entry exactly once, led by the first selector's
+  // matches in registry order.
+  const Registry& reg = Registry::instance();
+  const auto sel = reg.select_all({"trait:detectable", "Isb*", "Isb",
+                                   "trait:set", "trait:detectable",
+                                   "*-Queue", "trait:queue"});
+  std::vector<const AlgoEntry*> uniq(sel.begin(), sel.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  EXPECT_EQ(uniq.size(), sel.size()) << "duplicates in select_all";
+  // Order: the first selector's matches lead, in registry order.
+  const auto first = reg.select("trait:detectable");
+  ASSERT_LE(first.size(), sel.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(sel[i], first[i]) << i;
+  }
+  // Completeness: everything any selector matched is present once.
+  for (const char* s : {"Isb*", "*-Queue", "trait:set"}) {
+    for (const AlgoEntry* e : reg.select(s)) {
+      EXPECT_EQ(std::count(sel.begin(), sel.end(), e), 1) << e->name;
+    }
+  }
 }
 
 TEST(Registry, DuplicateRegistrationIsIgnored) {

@@ -98,7 +98,11 @@ TEST(PersistenceCounters, IsbQueueBeatsLogQueuePerOp) {
     for (std::uint64_t v = 0; v < 128; ++v) log.dequeue();
   });
   EXPECT_LT(ci.flushes, cl.flushes);
-  EXPECT_LT(ci.fences, cl.fences);
+  // Fences are tied since the queue's persist-link-before-tail-swing
+  // rule (IsbPolicy::expose) added one ordering fence per enqueue —
+  // the price of staying crash-consistent when concurrent enqueuers
+  // build on each other's links.
+  EXPECT_LE(ci.fences, cl.fences);
 }
 
 TEST(PersistenceCounters, CountsIndependentOfMode) {
