@@ -26,9 +26,11 @@
 //                      regression point: multi-threaded workload,
 //                      crash at an operation boundary, recover()
 //                      replay per thread.
-//   shadow-overhead  — shadow-mode tracking cost vs. count_only for
-//                      the Isb list and queue at 1 and 8 threads (the
-//                      BENCH_PR4.json perf-smoke trajectory).
+//   shadow-overhead  — per-backend persistence cost vs. count_only
+//                      for the Isb list and queue at 1 and 8 threads:
+//                      shadow (interception + write log) and mmap
+//                      (real clwb+sfence) relative to bare counting
+//                      (the BENCH_PR4/PR6 perf-smoke trajectories).
 //
 // Replaying a CI-reported reproducer (use its base_seed field):
 //   REPRO_SEED=<base_seed> REPRO_FUZZ_POINTS=<points> ./crash_recovery \
@@ -88,14 +90,19 @@ int main(int argc, char** argv) {
   ExperimentSpec overhead;
   overhead.figure = "shadow-overhead";
   overhead.what =
-      "shadow-NVM write-log tracking cost vs count_only (Isb list & "
-      "queue)";
+      "persistence-backend cost vs count_only (Isb list & queue): "
+      "shadow write-log tracking and mmap clwb+sfence";
   overhead.structures = {"Isb", "Isb-Queue"};
   overhead.key_ranges = {500};
   overhead.mixes = {kUpdateIntensive};
   overhead.threads = {1, 8};
+  // Mode::mmap here measures the instruction cost (clwb + sfence on
+  // the nodes' cache lines) without a mapped heap file attached — the
+  // instructions run on whatever memory the pool hands out, which is
+  // exactly the overhead the backend adds on top of count_only.
   overhead.modes = {repro::pmem::Mode::count_only,
-                    repro::pmem::Mode::shadow};
+                    repro::pmem::Mode::shadow,
+                    repro::pmem::Mode::mmap};
 
   return repro::bench::experiment_main(
       argc, argv, {fuzz, conc, lists, queues, overhead});

@@ -58,6 +58,7 @@ inline const char* mode_name(pmem::Mode m) {
     case pmem::Mode::private_cache: return "private_cache";
     case pmem::Mode::count_only: return "count_only";
     case pmem::Mode::shadow: return "shadow";
+    case pmem::Mode::mmap: return "mmap";
   }
   return "?";
 }

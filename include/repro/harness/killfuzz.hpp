@@ -1,0 +1,948 @@
+// Fork-kill-recover fuzzing: the true-crash half of the crash engine.
+//
+// The shadow-NVM fuzzers (crashfuzz.hpp) simulate power failure inside
+// one process.  This harness makes the durability claim for real: the
+// parent forks a CHILD that attaches the mmap heap (pmem/mmap_heap.hpp),
+// builds a detectable structure as a heap root and runs a journaled
+// workload against it in Mode::mmap; the child is SIGKILLed — either at
+// a deterministic persistence-instruction boundary
+// (pmem::crash::arm_kill, replayable from a {seed, kill_point} pair) or
+// by a parent-timed signal — and a FRESH verifier process then maps the
+// same heap file and asserts the paper's detectability contract against
+// what the dead process durably left behind:
+//
+//   K1  Each worker lane's durable descriptor names either its last
+//       journaled operation or the one in flight at the kill (seq is
+//       J or J+1) — nothing else.
+//   K2  A descriptor naming a journaled (completed) operation carries
+//       exactly that operation's response.
+//   K3  An in-flight operation reported completed must carry the
+//       response the durable contents imply — completed-with-response
+//       XOR not-applied, never "done" with a stale/lost response.
+//   K4  The durable walk matches the journaled model: per-lane key
+//       ranges for lists (each lane's range must equal its journal
+//       replay, ± its single in-flight effect), a global value audit
+//       for queues (every durable value was enqueued and not yet
+//       dequeued; losses only where an in-flight dequeue can account
+//       for them; exact FIFO order at one lane).
+//
+// What a SIGKILL does and does not test: the page cache survives the
+// signal, so every store the child executed — fenced or not — is in
+// the reattached image; the kill boundary truncates the *instruction
+// stream*, not the write-back queue.  The harness therefore exercises
+// reattach/recovery machinery and store-ORDER protocol bugs (a "done"
+// record written before its response, a link published before its
+// node).  The REPRO_MUTATE_DROP_MSYNC build (detectable.hpp) emulates
+// exactly such a reorder and must be caught here; unordered write-back
+// LOSS remains the shadow fuzzers' jurisdiction.
+//
+// Journaling: the child appends one JSONL line per completed operation
+// with a single write(2) each (durable-in-page-cache at the kill, and
+// the "flush after every row" contract the sinks satellite demands), a
+// per-lane hello line before the lane's first operation, and the
+// verifier tolerates a torn final line.  Each trial uses a private
+// heap file (REPRO_HEAP_PATH or /tmp/repro_heap.<pid>.pmem) that the
+// driver deletes or reuses — nothing accumulates.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "repro/ds/dt_list.hpp"
+#include "repro/ds/isb_list.hpp"
+#include "repro/ds/isb_queue.hpp"
+#include "repro/harness/runner.hpp"
+#include "repro/pmem/crash.hpp"
+#include "repro/pmem/mmap_heap.hpp"
+
+namespace repro::harness::kill {
+
+// The detectable structure families the kill harness drives.  These
+// are the concrete non-virtual templates, not registry wrappers: a
+// polymorphic object's vtable pointer is process-specific and would be
+// stale in the verifier, so the heap root must be vtable-free.
+enum class Family { isb_list, isb_queue, dt_list };
+
+inline const char* family_name(Family f) {
+  switch (f) {
+    case Family::isb_list: return "isb-list";
+    case Family::isb_queue: return "isb-queue";
+    case Family::dt_list: return "dt-list";
+  }
+  return "?";
+}
+
+inline const std::vector<Family>& all_families() {
+  static const std::vector<Family> fams = {
+      Family::isb_list, Family::isb_queue, Family::dt_list};
+  return fams;
+}
+
+// One trial's full parameterisation; {family, seed, threads,
+// kill_point} replays a deterministic single-lane trial bit-for-bit.
+struct KillPlan {
+  Family family = Family::isb_list;
+  std::string heap_path = "/tmp/repro_heap.pmem";
+  std::uint64_t seed = 1;
+  int threads = 1;
+  int ops_budget = 512;          // operations per lane
+  std::uint64_t kill_point = 0;  // >0: SIGKILL at n-th persistence instr
+  int kill_delay_us = 0;         // >0: parent-timed SIGKILL instead
+  std::size_t heap_bytes = pmem::MmapHeap::kDefaultBytes;
+
+  std::string journal_path() const { return heap_path + ".journal"; }
+  std::string detail_path() const { return heap_path + ".viol"; }
+};
+
+struct TrialResult {
+  bool infra_ok = true;  // fork/attach/exec machinery worked
+  bool killed = false;   // the SIGKILL landed (else the budget ran out)
+  bool vacuous = false;  // killed before the root finished setup
+  int violations = 0;
+  std::string what;  // first violation's diagnostic
+};
+
+struct KillFailure {
+  std::string family;
+  std::uint64_t seed = 0;
+  std::uint64_t kill_point = 0;
+  int delay_us = 0;
+  int threads = 0;
+  std::string what;
+};
+
+struct KillReport {
+  int trials = 0;
+  int kills = 0;       // trials where the SIGKILL landed
+  int completed = 0;   // child ran out its budget before the kill
+  int vacuous = 0;
+  int infra_skips = 0; // environment failures (not violations)
+  int violations = 0;
+  std::vector<KillFailure> failures;  // first few, for the reproducer
+};
+
+namespace detail {
+
+inline constexpr std::int64_t kLaneKeySpan = 32;
+inline constexpr const char* kRootName = "structure";
+
+inline std::int64_t lane_key_base(int lane) {
+  return static_cast<std::int64_t>(lane) * kLaneKeySpan;
+}
+
+// Queue values are unique and lane-tagged so the global audit can
+// attribute every durable value.
+inline std::uint64_t lane_value(int lane, int op) {
+  return static_cast<std::uint64_t>(lane + 1) * 1'000'000u +
+         static_cast<std::uint64_t>(op) + 1;
+}
+
+// One write(2) per line: atomic for O_APPEND regular files and already
+// in the page cache when the SIGKILL lands — the journal needs no
+// flush discipline beyond "don't buffer in userspace".
+struct JournalWriter {
+  int fd = -1;
+  bool open_trunc(const std::string& path) {
+    fd = ::open(path.c_str(),
+                O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC,
+                0644);
+    return fd >= 0;
+  }
+  void line(const char* fmt, ...)
+      __attribute__((format(printf, 2, 3))) {
+    char buf[192];
+    va_list ap;
+    va_start(ap, fmt);
+    int n = std::vsnprintf(buf, sizeof(buf) - 1, fmt, ap);
+    va_end(ap);
+    if (n < 0) return;
+    if (n > static_cast<int>(sizeof(buf) - 2)) {
+      n = static_cast<int>(sizeof(buf) - 2);
+    }
+    buf[n] = '\n';
+    [[maybe_unused]] ssize_t w = ::write(fd, buf, static_cast<std::size_t>(n) + 1);
+  }
+};
+
+struct OpLine {
+  int lane = 0;
+  std::uint64_t seq = 0;
+  char kind[16] = {0};
+  std::int64_t key = 0;
+  int ok = 0;
+  std::uint64_t result = 0;
+};
+
+struct Journal {
+  std::map<int, int> lane_slot;               // hello lines
+  std::map<int, std::vector<OpLine>> ops;     // per lane, in order
+
+  // Tolerates a missing file (killed before the journal opened) and a
+  // torn final line (killed mid-write).
+  void parse(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return;
+    std::string data;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      data.append(buf, n);
+    }
+    std::fclose(f);
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t nl = data.find('\n', pos);
+      if (nl == std::string::npos) break;  // torn tail dropped
+      const std::string line = data.substr(pos, nl - pos);
+      pos = nl + 1;
+      OpLine op;
+      unsigned long long seq = 0, result = 0;
+      long long key = 0;
+      if (std::sscanf(line.c_str(),
+                      "{\"lane\":%d,\"seq\":%llu,\"kind\":\"%15[a-z]\","
+                      "\"key\":%lld,\"ok\":%d,\"result\":%llu}",
+                      &op.lane, &seq, op.kind, &key, &op.ok,
+                      &result) == 6) {
+        op.seq = seq;
+        op.key = key;
+        op.result = result;
+        ops[op.lane].push_back(op);
+        continue;
+      }
+      int lane = 0, slot = 0;
+      if (std::sscanf(line.c_str(), "{\"lane\":%d,\"slot\":%d}", &lane,
+                      &slot) == 2) {
+        lane_slot[lane] = slot;
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------------
+// Child side: the workload that gets killed.
+// ------------------------------------------------------------------
+
+// All lanes must hold their thread slots SIMULTANEOUSLY before any
+// operation runs: slots recycle when a thread exits, so without the
+// start barrier a fast early lane can finish and die before a later
+// lane spawns, which would hand two lanes one descriptor and make the
+// journal→slot binding meaningless.
+struct StartBarrier {
+  std::atomic<int> ready{0};
+  void arrive_and_wait(int parties) {
+    ready.fetch_add(1, std::memory_order_acq_rel);
+    while (ready.load(std::memory_order_acquire) < parties) {
+    }
+  }
+};
+
+template <typename S>
+void run_list_lanes(const KillPlan& plan, S* s, JournalWriter& j) {
+  std::vector<std::thread> lanes;
+  lanes.reserve(static_cast<std::size_t>(plan.threads));
+  StartBarrier barrier;
+  for (int t = 0; t < plan.threads; ++t) {
+    lanes.emplace_back([&, t] {
+      const int slot = ds::thread_slot();
+      j.line("{\"lane\":%d,\"slot\":%d}", t, slot);
+      barrier.arrive_and_wait(plan.threads);
+      Rng rng(mix_seed(plan.seed, static_cast<std::uint64_t>(t)));
+      for (int o = 0; o < plan.ops_budget; ++o) {
+        const std::int64_t key =
+            lane_key_base(t) + 1 +
+            static_cast<std::int64_t>(rng.below(
+                static_cast<std::uint64_t>(kLaneKeySpan)));
+        const std::uint64_t dice = rng.below(10);
+        const char* kind;
+        bool ok;
+        if (dice < 4) {
+          kind = "insert";
+          ok = s->insert(key);
+        } else if (dice < 8) {
+          kind = "erase";
+          ok = s->erase(key);
+        } else {
+          kind = "find";
+          ok = s->find(key);
+        }
+        const std::uint64_t seq = s->recover(slot).seq;
+        j.line("{\"lane\":%d,\"seq\":%llu,\"kind\":\"%s\",\"key\":%lld,"
+               "\"ok\":%d,\"result\":%llu}",
+               t, static_cast<unsigned long long>(seq), kind,
+               static_cast<long long>(key), ok ? 1 : 0,
+               static_cast<unsigned long long>(ok ? 1 : 0));
+      }
+    });
+  }
+  for (std::thread& th : lanes) th.join();
+}
+
+template <typename S>
+void run_queue_lanes(const KillPlan& plan, S* s, JournalWriter& j) {
+  std::vector<std::thread> lanes;
+  lanes.reserve(static_cast<std::size_t>(plan.threads));
+  StartBarrier barrier;
+  for (int t = 0; t < plan.threads; ++t) {
+    lanes.emplace_back([&, t] {
+      const int slot = ds::thread_slot();
+      j.line("{\"lane\":%d,\"slot\":%d}", t, slot);
+      barrier.arrive_and_wait(plan.threads);
+      Rng rng(mix_seed(plan.seed, static_cast<std::uint64_t>(t)));
+      int enq = 0;
+      for (int o = 0; o < plan.ops_budget; ++o) {
+        if (rng.below(10) < 6) {
+          const std::uint64_t v = lane_value(t, enq++);
+          s->enqueue(v);
+          const std::uint64_t seq = s->recover(slot).seq;
+          j.line("{\"lane\":%d,\"seq\":%llu,\"kind\":\"enqueue\","
+                 "\"key\":%lld,\"ok\":1,\"result\":%llu}",
+                 t, static_cast<unsigned long long>(seq),
+                 static_cast<long long>(v),
+                 static_cast<unsigned long long>(v));
+        } else {
+          const ds::DequeueResult r = s->dequeue();
+          const std::uint64_t seq = s->recover(slot).seq;
+          j.line("{\"lane\":%d,\"seq\":%llu,\"kind\":\"dequeue\","
+                 "\"key\":0,\"ok\":%d,\"result\":%llu}",
+                 t, static_cast<unsigned long long>(seq), r.ok ? 1 : 0,
+                 static_cast<unsigned long long>(r.value));
+        }
+      }
+    });
+  }
+  for (std::thread& th : lanes) th.join();
+}
+
+// The forked child's whole life.  Exit 0 = budget completed; the
+// interesting exits are the ones that never happen (SIGKILL).
+[[noreturn]] inline void run_child_workload(const KillPlan& plan,
+                                            int notify_fd) {
+  ::signal(SIGPIPE, SIG_IGN);  // parent may not be reading the pipe
+  pmem::MmapHeap* heap =
+      pmem::MmapHeap::attach(plan.heap_path, plan.heap_bytes);
+  if (heap == nullptr) ::_exit(120);
+  pmem::set_mode(pmem::Mode::mmap);
+  JournalWriter j;
+  void* root = nullptr;
+  switch (plan.family) {
+    case Family::isb_list:
+      root = heap->root<ds::IsbListT<>>(kRootName);
+      break;
+    case Family::isb_queue:
+      root = heap->root<ds::IsbQueueT<>>(kRootName);
+      break;
+    case Family::dt_list:
+      root = heap->root<ds::DtListT<>>(kRootName);
+      break;
+  }
+  if (root == nullptr || !j.open_trunc(plan.journal_path())) {
+    ::_exit(120);
+  }
+  // Setup is durable; tell the parent it may start the kill timer.
+  if (notify_fd >= 0) {
+    const char ready = 'r';
+    [[maybe_unused]] ssize_t w = ::write(notify_fd, &ready, 1);
+    ::close(notify_fd);
+  }
+  // Armed AFTER setup: heap bookkeeping persists through the raw
+  // (uncounted) path, so instruction n is the n-th *algorithm*
+  // persistence instruction — the deterministic replay anchor.
+  if (plan.kill_point > 0) pmem::crash::arm_kill(plan.kill_point);
+  switch (plan.family) {
+    case Family::isb_list:
+      run_list_lanes(plan, static_cast<ds::IsbListT<>*>(root), j);
+      break;
+    case Family::isb_queue:
+      run_queue_lanes(plan, static_cast<ds::IsbQueueT<>*>(root), j);
+      break;
+    case Family::dt_list:
+      run_list_lanes(plan, static_cast<ds::DtListT<>*>(root), j);
+      break;
+  }
+  ::_exit(0);
+}
+
+// ------------------------------------------------------------------
+// Verifier side: runs in a FRESH process that maps the heap file.
+// ------------------------------------------------------------------
+
+template <typename S>
+int verify_list(S* s, const Journal& j, std::string& detail) {
+  int violations = 0;
+  auto fail = [&](const std::string& w) {
+    ++violations;
+    if (detail.empty()) detail = w;
+  };
+
+  std::vector<std::int64_t> walked;
+  if (!s->snapshot_keys(walked)) {
+    fail("durable walk failed: link into unowned memory or a cycle");
+    return violations;
+  }
+  std::set<std::int64_t> durable(walked.begin(), walked.end());
+
+  std::set<std::int64_t> attributed;
+  for (const auto& [lane, slot] : j.lane_slot) {
+    const auto it = j.ops.find(lane);
+    static const std::vector<OpLine> kNone;
+    const std::vector<OpLine>& ops =
+        it != j.ops.end() ? it->second : kNone;
+
+    // Journal well-formedness: each lane's seqs are 1..J contiguous.
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].seq != i + 1) {
+        fail("journal gap in lane " + std::to_string(lane));
+        return violations;
+      }
+    }
+    const std::uint64_t J = ops.size();
+
+    // The lane's journaled model, and its durable-contents slice.
+    std::set<std::int64_t> model;
+    for (const OpLine& op : ops) {
+      if (op.ok == 0) continue;
+      if (std::strcmp(op.kind, "insert") == 0) model.insert(op.key);
+      if (std::strcmp(op.kind, "erase") == 0) model.erase(op.key);
+    }
+    std::set<std::int64_t> lane_durable;
+    const std::int64_t lo = lane_key_base(lane) + 1;
+    const std::int64_t hi = lane_key_base(lane) + kLaneKeySpan;
+    for (std::int64_t k : durable) {
+      if (k >= lo && k <= hi) {
+        lane_durable.insert(k);
+        attributed.insert(k);
+      }
+    }
+
+    const ds::Recovered rec = s->recover(slot);
+    if (rec.seq != J && rec.seq != J + 1) {
+      fail("lane " + std::to_string(lane) + " descriptor seq " +
+           std::to_string(rec.seq) + " matches no operation (journal " +
+           std::to_string(J) + ")");  // K1
+      continue;
+    }
+
+    if (rec.seq == J + 1) {
+      // In-flight at the kill.  The announcement (kind/key) preceded
+      // every possible kill point of the op, so it is durable truth.
+      const bool is_insert = rec.kind == ds::OpKind::insert;
+      const bool is_erase = rec.kind == ds::OpKind::erase;
+      const bool is_find = rec.kind == ds::OpKind::find;
+      if (!is_insert && !is_erase && !is_find) {
+        fail("lane " + std::to_string(lane) +
+             " in-flight descriptor has a non-list op kind");
+        continue;
+      }
+      const bool present = model.count(rec.key) > 0;
+      std::set<std::int64_t> with = model;
+      if (is_insert) with.insert(rec.key);
+      if (is_erase) with.erase(rec.key);
+      if (rec.completed) {
+        // K3: the committed response must be the one the model implies,
+        // and a successful mutation's effect must be durable.
+        const bool expect_ok = is_insert ? !present : present;
+        if (rec.ok != expect_ok) {
+          fail("lane " + std::to_string(lane) +
+               " in-flight op committed with a stale/wrong response");
+        }
+        const std::set<std::int64_t>& expected =
+            (rec.ok && !is_find) ? with : model;
+        if (lane_durable != expected) {
+          fail("lane " + std::to_string(lane) +
+               " committed in-flight effect disagrees with durable "
+               "contents");
+        }
+      } else {
+        // Pending is always legitimate; contents match the model with
+        // or without the single in-flight effect (K4).
+        if (lane_durable != model && lane_durable != with) {
+          fail("lane " + std::to_string(lane) +
+               " durable contents match neither pre- nor post-in-"
+               "flight model");
+        }
+      }
+    } else {
+      // K2: descriptor names the last journaled op exactly.
+      if (J > 0) {
+        const OpLine& last = ops.back();
+        const char* kind_name =
+            rec.kind == ds::OpKind::insert   ? "insert"
+            : rec.kind == ds::OpKind::erase  ? "erase"
+            : rec.kind == ds::OpKind::find   ? "find"
+                                             : "?";
+        if (!rec.completed || std::strcmp(last.kind, kind_name) != 0 ||
+            rec.key != last.key || rec.ok != (last.ok != 0) ||
+            rec.result != last.result) {
+          fail("lane " + std::to_string(lane) +
+               " descriptor lost or corrupted the last journaled "
+               "response");
+        }
+      }
+      if (lane_durable != model) {
+        fail("lane " + std::to_string(lane) +
+             " durable contents diverge from the journaled model");
+      }
+    }
+  }
+
+  // Keys no hello'd lane owns cannot exist: lanes write their hello
+  // before their first operation.
+  for (std::int64_t k : durable) {
+    if (attributed.count(k) == 0) {
+      fail("durable key " + std::to_string(k) +
+           " belongs to no journaled lane");
+      break;
+    }
+  }
+  return violations;
+}
+
+template <typename S>
+int verify_queue(S* s, const Journal& j, int threads,
+                 std::string& detail) {
+  int violations = 0;
+  auto fail = [&](const std::string& w) {
+    ++violations;
+    if (detail.empty()) detail = w;
+  };
+
+  std::vector<std::uint64_t> durable;
+  if (!s->snapshot_values(durable)) {
+    fail("durable walk failed: link into unowned memory or a cycle");
+    return violations;
+  }
+  const std::set<std::uint64_t> durable_set(durable.begin(),
+                                            durable.end());
+
+  std::set<std::uint64_t> enq_done, deq_done;
+  std::set<std::uint64_t> inflight_enq;  // pending or committed
+  int pending_deq = 0;
+
+  // Lanes interact through the queue (one lane dequeues another's
+  // values), so judgement is two-pass: first gather every lane's
+  // journal facts and descriptor — an in-flight dequeue may return a
+  // value whose enqueue is in flight on a lane not yet visited — then
+  // check each lane against the complete picture.
+  struct LaneView {
+    int lane;
+    int slot;
+    const std::vector<OpLine>* ops;
+    ds::Recovered rec;
+    std::uint64_t J;
+  };
+  static const std::vector<OpLine> kNone;
+  std::vector<LaneView> lanes;
+  for (const auto& [lane, slot] : j.lane_slot) {
+    const auto it = j.ops.find(lane);
+    const std::vector<OpLine>& ops =
+        it != j.ops.end() ? it->second : kNone;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].seq != i + 1) {
+        fail("journal gap in lane " + std::to_string(lane));
+        return violations;
+      }
+      if (std::strcmp(ops[i].kind, "enqueue") == 0) {
+        enq_done.insert(ops[i].result);
+      } else if (ops[i].ok != 0) {
+        if (!deq_done.insert(ops[i].result).second) {
+          fail("value " + std::to_string(ops[i].result) +
+               " journaled as dequeued twice");
+        }
+      }
+    }
+    const LaneView lv{lane, slot, &ops, s->recover(slot), ops.size()};
+    if (lv.rec.seq == lv.J + 1 &&
+        lv.rec.kind == ds::OpKind::enqueue) {
+      inflight_enq.insert(static_cast<std::uint64_t>(lv.rec.key));
+    }
+    lanes.push_back(lv);
+  }
+
+  for (const LaneView& lv : lanes) {
+    const int lane = lv.lane;
+    const ds::Recovered& rec = lv.rec;
+    const std::uint64_t J = lv.J;
+    if (rec.seq != J && rec.seq != J + 1) {
+      fail("lane " + std::to_string(lane) + " descriptor seq " +
+           std::to_string(rec.seq) + " matches no operation (journal " +
+           std::to_string(J) + ")");  // K1
+      continue;
+    }
+    if (rec.seq == J) {
+      if (J > 0) {
+        const OpLine& last = lv.ops->back();
+        const char* kind_name = rec.kind == ds::OpKind::enqueue
+                                    ? "enqueue"
+                                : rec.kind == ds::OpKind::dequeue
+                                    ? "dequeue"
+                                    : "?";
+        if (!rec.completed || std::strcmp(last.kind, kind_name) != 0 ||
+            rec.ok != (last.ok != 0) || rec.result != last.result) {
+          fail("lane " + std::to_string(lane) +
+               " descriptor lost or corrupted the last journaled "
+               "response");  // K2
+        }
+      }
+      continue;
+    }
+    // In-flight (seq == J+1).
+    if (rec.kind == ds::OpKind::enqueue) {
+      const auto v = static_cast<std::uint64_t>(rec.key);
+      if (rec.completed) {
+        // K3: enqueue commits (true, value); the effect must be there
+        // (or already consumed by a journaled dequeue).
+        if (!rec.ok || rec.result != v) {
+          fail("lane " + std::to_string(lane) +
+               " committed in-flight enqueue carries a stale/wrong "
+               "response");
+        } else if (durable_set.count(v) == 0 &&
+                   deq_done.count(v) == 0) {
+          fail("lane " + std::to_string(lane) +
+               " committed enqueue's value is durably lost");
+        }
+      }
+    } else if (rec.kind == ds::OpKind::dequeue) {
+      if (rec.completed) {
+        if (rec.ok) {
+          const std::uint64_t v = rec.result;
+          if (enq_done.count(v) == 0 && inflight_enq.count(v) == 0) {
+            fail("lane " + std::to_string(lane) +
+                 " committed dequeue returned a never-enqueued value "
+                 "(stale response?)");  // K3
+          } else if (durable_set.count(v) != 0) {
+            fail("lane " + std::to_string(lane) +
+                 " committed dequeue's value is still durably "
+                 "enqueued");
+          } else if (!deq_done.insert(v).second) {
+            fail("value " + std::to_string(v) + " dequeued twice");
+          }
+        }
+      } else {
+        ++pending_deq;
+      }
+    } else {
+      fail("lane " + std::to_string(lane) +
+           " in-flight descriptor has a non-queue op kind");
+    }
+  }
+
+  // K4, global value audit.
+  for (std::uint64_t v : durable) {
+    if (enq_done.count(v) == 0 && inflight_enq.count(v) == 0) {
+      fail("durable value " + std::to_string(v) +
+           " was never enqueued (lost node payload?)");
+      break;
+    }
+  }
+  for (std::uint64_t v : deq_done) {
+    if (durable_set.count(v) != 0) {
+      fail("journaled dequeue of " + std::to_string(v) +
+           " left the value durably enqueued");
+      break;
+    }
+  }
+  int missing = 0;
+  for (std::uint64_t v : enq_done) {
+    if (deq_done.count(v) == 0 && durable_set.count(v) == 0) ++missing;
+  }
+  if (missing > pending_deq) {
+    fail(std::to_string(missing) +
+         " enqueued values durably lost with only " +
+         std::to_string(pending_deq) + " in-flight dequeues");
+  }
+
+  // One lane: the journal is a total order, so FIFO is checkable
+  // exactly — replay it and require the durable sequence to be the
+  // model with or without the in-flight effect.
+  if (threads == 1 && violations == 0 && !j.lane_slot.empty()) {
+    const int lane = j.lane_slot.begin()->first;
+    const int slot = j.lane_slot.begin()->second;
+    const auto it = j.ops.find(lane);
+    std::vector<std::uint64_t> model;
+    if (it != j.ops.end()) {
+      for (const OpLine& op : it->second) {
+        if (std::strcmp(op.kind, "enqueue") == 0) {
+          model.push_back(op.result);
+        } else if (op.ok != 0) {
+          if (model.empty() || model.front() != op.result) {
+            fail("journaled dequeues violate FIFO against the "
+                 "journaled enqueues");
+            return violations;
+          }
+          model.erase(model.begin());
+        }
+      }
+    }
+    const ds::Recovered rec = s->recover(slot);
+    const std::uint64_t J =
+        it != j.ops.end() ? it->second.size() : 0;
+    std::vector<std::uint64_t> with = model;
+    bool effect_known = false, effect_applied = false;
+    if (rec.seq == J + 1) {
+      if (rec.kind == ds::OpKind::enqueue) {
+        with.push_back(static_cast<std::uint64_t>(rec.key));
+      } else if (!with.empty()) {
+        with.erase(with.begin());
+      }
+      if (rec.completed) {
+        effect_known = true;
+        effect_applied = rec.ok || rec.kind == ds::OpKind::enqueue;
+      }
+    } else {
+      effect_known = true;  // nothing in flight
+      with = model;
+    }
+    const bool m0 = durable == model;
+    const bool m1 = durable == with;
+    if (effect_known ? !(effect_applied ? m1 : m0) : !(m0 || m1)) {
+      fail("single-lane durable FIFO sequence matches neither pre- "
+           "nor post-in-flight model");
+    }
+  }
+  return violations;
+}
+
+// Attach + dispatch inside the verifier process.  Returns violations,
+// -1 for a vacuous trial (setup never finished), -2 for environment
+// failure.
+inline int verify_in_process(const KillPlan& plan, std::string& detail) {
+  pmem::MmapHeap* heap =
+      pmem::MmapHeap::attach(plan.heap_path, plan.heap_bytes);
+  if (heap == nullptr) return -2;
+  Journal j;
+  j.parse(plan.journal_path());
+  switch (plan.family) {
+    case Family::isb_list: {
+      auto* s = heap->find_root<ds::IsbListT<>>(kRootName);
+      if (s == nullptr) return -1;
+      return verify_list(s, j, detail);
+    }
+    case Family::isb_queue: {
+      auto* s = heap->find_root<ds::IsbQueueT<>>(kRootName);
+      if (s == nullptr) return -1;
+      return verify_queue(s, j, plan.threads, detail);
+    }
+    case Family::dt_list: {
+      auto* s = heap->find_root<ds::DtListT<>>(kRootName);
+      if (s == nullptr) return -1;
+      return verify_list(s, j, detail);
+    }
+  }
+  return -2;
+}
+
+inline std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  char buf[512];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  return std::string(buf, n);
+}
+
+}  // namespace detail
+
+// Verification exit-code protocol (the verifier is a forked fresh
+// process; its address space must never have seen the child's heap).
+inline constexpr int kVerifyVacuous = 110;
+inline constexpr int kVerifyInfraFail = 120;
+
+// Forks a fresh process that maps the heap file, recovers, verifies,
+// and reports through its exit code (violations capped at 99).  The
+// first diagnostic lands in plan.detail_path().
+inline int fork_verify(const KillPlan& plan) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return kVerifyInfraFail;
+  if (pid == 0) {
+    std::string detail;
+    const int v = detail::verify_in_process(plan, detail);
+    if (v == -2) ::_exit(kVerifyInfraFail);
+    if (v == -1) ::_exit(kVerifyVacuous);
+    if (v > 0) {
+      if (std::FILE* f =
+              std::fopen(plan.detail_path().c_str(), "w")) {
+        std::fprintf(f, "%s\n", detail.c_str());
+        std::fclose(f);
+      }
+      ::_exit(v > 99 ? 99 : v);
+    }
+    ::_exit(0);
+  }
+  int st = 0;
+  ::waitpid(pid, &st, 0);
+  if (!WIFEXITED(st)) return kVerifyInfraFail;
+  return WEXITSTATUS(st);
+}
+
+// One full trial: fresh heap file, forked workload child, SIGKILL
+// (armed or parent-timed), then TWO independent fresh-process
+// verifications — recovery must be idempotent, so pass two re-walks
+// everything pass one recovered and must agree with it.
+inline TrialResult kill_one(const KillPlan& plan) {
+  TrialResult r;
+  ::unlink(plan.heap_path.c_str());
+  ::unlink(plan.journal_path().c_str());
+  ::unlink(plan.detail_path().c_str());
+
+  int pfd[2] = {-1, -1};
+  if (::pipe(pfd) != 0) {
+    r.infra_ok = false;
+    return r;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pfd[0]);
+    ::close(pfd[1]);
+    r.infra_ok = false;
+    return r;
+  }
+  if (pid == 0) {
+    ::close(pfd[0]);
+    detail::run_child_workload(plan, pfd[1]);  // never returns
+  }
+  ::close(pfd[1]);
+  char ready = 0;
+  [[maybe_unused]] ssize_t got = ::read(pfd[0], &ready, 1);
+  if (plan.kill_delay_us > 0) {
+    ::usleep(static_cast<useconds_t>(plan.kill_delay_us));
+    ::kill(pid, SIGKILL);
+  }
+  ::close(pfd[0]);
+  int st = 0;
+  ::waitpid(pid, &st, 0);
+  if (WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL) {
+    r.killed = true;
+  } else if (WIFEXITED(st) && WEXITSTATUS(st) == 0) {
+    r.killed = false;  // budget ran out first; still verified
+  } else {
+    r.infra_ok = false;
+    return r;
+  }
+
+  const int first = fork_verify(plan);
+  if (first == kVerifyInfraFail) {
+    r.infra_ok = false;
+    return r;
+  }
+  if (first == kVerifyVacuous) {
+    r.vacuous = true;
+    return r;
+  }
+  r.violations = first;
+  const int second = fork_verify(plan);
+  if (second != first) {
+    ++r.violations;
+    r.what = "recovery is not idempotent: verifier passes disagree (" +
+             std::to_string(first) + " vs " + std::to_string(second) +
+             ")";
+  } else if (first > 0) {
+    r.what = detail::slurp(plan.detail_path());
+  }
+  return r;
+}
+
+// Randomized campaign over one family: `trials` forked kills, each
+// with a fresh {seed, kill point} pair.  Deterministic mode (default)
+// arms the kill at a drawn persistence-instruction index — each
+// failure is replayable via kill_one{seed, kill_point}; timed mode
+// SIGKILLs after a drawn microsecond delay instead.
+inline KillReport kill_many(const KillPlan& proto, int trials,
+                            bool timed = false) {
+  KillReport rep;
+  const std::uint64_t base =
+      proto.seed != 0 ? proto.seed : global_seed();
+  Rng rng(mix_seed(base, 0x6B116Cull));
+  const std::uint64_t horizon =
+      static_cast<std::uint64_t>(proto.ops_budget) *
+      static_cast<std::uint64_t>(proto.threads) * 6u;
+  for (int i = 0; i < trials; ++i) {
+    KillPlan p = proto;
+    p.seed = mix_seed(base, static_cast<std::uint64_t>(i));
+    if (timed) {
+      p.kill_point = 0;
+      p.kill_delay_us = 50 + static_cast<int>(rng.below(5'000));
+      // The default budgets finish in well under the shortest delay;
+      // give the child enough work that the wall-clock kill lands
+      // mid-run instead of reaping a finished process.
+      p.ops_budget = std::max(p.ops_budget, 200'000);
+    } else {
+      p.kill_point = 1 + rng.below(horizon);
+      p.kill_delay_us = 0;
+    }
+    const TrialResult t = kill_one(p);
+    ++rep.trials;
+    if (!t.infra_ok) {
+      ++rep.infra_skips;
+      continue;
+    }
+    if (t.killed) {
+      ++rep.kills;
+    } else {
+      ++rep.completed;
+    }
+    if (t.vacuous) ++rep.vacuous;
+    rep.violations += t.violations;
+    if (t.violations > 0 && rep.failures.size() < 8) {
+      rep.failures.push_back({family_name(p.family), p.seed,
+                              p.kill_point, p.kill_delay_us, p.threads,
+                              t.what});
+    }
+  }
+  return rep;
+}
+
+// Failing-trial reproducers as JSON lines (the CI artifact); same
+// truncate-once-per-process convention as crashfuzz's
+// write_reproducer.  Replay one line with
+//   kill_one({family, seed, threads, kill_point})
+// (deterministic for threads == 1; timed failures replay the same
+// workload draws, not the same kill instant).
+inline void write_kill_reproducer(const KillReport& report,
+                                  const std::string& path) {
+  static bool truncated_once = false;
+  std::FILE* f = std::fopen(path.c_str(), truncated_once ? "a" : "w");
+  if (f == nullptr) return;
+  truncated_once = true;
+  for (const KillFailure& x : report.failures) {
+    std::fprintf(f,
+                 "{\"family\":\"%s\",\"seed\":%llu,\"kill_point\":%llu,"
+                 "\"delay_us\":%d,\"threads\":%d,\"what\":\"%s\"}\n",
+                 x.family.c_str(),
+                 static_cast<unsigned long long>(x.seed),
+                 static_cast<unsigned long long>(x.kill_point),
+                 x.delay_us, x.threads, x.what.c_str());
+  }
+  std::fclose(f);
+}
+
+// Default heap path: REPRO_HEAP_PATH, or a pid-scoped /tmp file so
+// concurrent CI jobs never collide.  The caller deletes it afterwards
+// (see kill_recovery's teardown and the tests' RAII guard).
+inline std::string default_heap_path() {
+  if (const char* p = std::getenv("REPRO_HEAP_PATH")) return p;
+  return "/tmp/repro_heap." + std::to_string(::getpid()) + ".pmem";
+}
+
+// Remove a trial's on-disk residue (heap file + journal + detail).
+inline void cleanup_heap_files(const KillPlan& plan) {
+  ::unlink(plan.heap_path.c_str());
+  ::unlink(plan.journal_path().c_str());
+  ::unlink(plan.detail_path().c_str());
+}
+
+}  // namespace repro::harness::kill

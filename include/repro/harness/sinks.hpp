@@ -4,6 +4,14 @@
 // CSV and JSON-lines writers so a run can be diffed against the paper
 // (or a previous run) mechanically.  REPRO_OUT=<path> adds a file sink:
 // *.csv selects CSV, anything else JSON lines.
+//
+// Flush discipline: the file sinks flush after EVERY row, so a run
+// that crashes — or is deliberately SIGKILLed by the kill harness —
+// loses at most the row being formatted, never completed
+// measurements.  The kill harness's own op journal
+// (harness/killfuzz.hpp) takes the same rule one step further: each
+// line is a single O_APPEND write(2), durable in the page cache the
+// instant it returns.
 #pragma once
 
 #include <atomic>

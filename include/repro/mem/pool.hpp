@@ -64,6 +64,17 @@ struct Stats {
 namespace detail {
 inline thread_local Stats tl_stats{};
 
+// Slab source override, installed by pmem::MmapHeap::attach(): when
+// non-null, pool slabs are carved from the persistent mapped arena
+// instead of the volatile heap, so the node links the structures write
+// through persist<> survive a process kill.  A null return (arena
+// exhausted) falls back to the volatile path — allocation never fails
+// differently because a heap happens to be attached.
+inline std::atomic<void* (*)(std::size_t)>& slab_source_cell() {
+  static std::atomic<void* (*)(std::size_t)> s{nullptr};
+  return s;
+}
+
 // Process-wide count of pool cells currently handed out (all pools, all
 // node types).  One relaxed RMW per alloc/free; the bounded-RSS test
 // asserts this stays O(live keys) under an update-only churn.
@@ -81,6 +92,11 @@ inline std::int64_t outstanding_blocks() {
   return detail::outstanding_cell().load(std::memory_order_relaxed);
 }
 
+// Install (attach) or clear (detach) the persistent slab source.
+inline void set_slab_source(void* (*fn)(std::size_t)) {
+  detail::slab_source_cell().store(fn, std::memory_order_release);
+}
+
 // Process-wide directory of every pool slab's address range.  The
 // crash engine's durable-image walks validate each pointer they are
 // about to dereference against it: after a simulated crash a rewound
@@ -89,6 +105,13 @@ inline std::int64_t outstanding_blocks() {
 // honour.  Registration is once per 64 KiB slab (cold path); owns() is
 // a linear scan over a handful of ranges, only called while verifying
 // a crash, never on an operation's hot path.
+//
+// Slabs need not be malloc'd: ranges carved from a mapped persistent
+// heap register through the same add().  A *recovered* process never
+// saw the killed writer's per-slab registrations (they died with it),
+// so pmem::MmapHeap::attach() re-registers the arena's used extent
+// wholesale — without that, every durable walk after a real kill would
+// reject the very first mapped node it reached.
 class SlabDirectory {
  public:
   static SlabDirectory& instance() {
@@ -174,7 +197,13 @@ class NodePool {
   // Slabs allocated so far (monotone; slabs are retained for reuse).
   std::size_t slab_count() {
     std::lock_guard<std::mutex> lock(slabs_mu_);
-    return slabs_.size();
+    return slabs_.size() + mapped_slabs_;
+  }
+
+  // Slabs carved from a mapped persistent heap (subset of slab_count).
+  std::size_t mapped_slab_count() {
+    std::lock_guard<std::mutex> lock(slabs_mu_);
+    return mapped_slabs_;
   }
 
   NodePool(const NodePool&) = delete;
@@ -212,9 +241,11 @@ class NodePool {
   NodePool() = default;
 
   ~NodePool() {
-    // Process exit: return the slabs.  Nothing dereferences pool memory
-    // during static destruction (structures are all function-scoped and
-    // limbo lists only hold pointers, never touch them).
+    // Process exit: return the malloc'd slabs.  Nothing dereferences
+    // pool memory during static destruction (structures are all
+    // function-scoped and limbo lists only hold pointers, never touch
+    // them).  Mapped slabs belong to the heap file, not this pool —
+    // operator-deleting one would hand mmap'd pages to the allocator.
     for (void* s : slabs_) {
       ::operator delete(s, std::align_val_t{kCacheLine});
     }
@@ -229,11 +260,24 @@ class NodePool {
       return cell;
     }
     if (static_cast<std::size_t>(sh.bump_end - sh.bump) < kCellBytes) {
-      auto* slab = static_cast<std::byte*>(
-          ::operator new(kSlabBytes, std::align_val_t{kCacheLine}));
+      std::byte* slab = nullptr;
+      bool mapped = false;
+      if (auto* src = detail::slab_source_cell().load(
+              std::memory_order_acquire)) {
+        slab = static_cast<std::byte*>(src(kSlabBytes));
+        mapped = slab != nullptr;
+      }
+      if (slab == nullptr) {
+        slab = static_cast<std::byte*>(
+            ::operator new(kSlabBytes, std::align_val_t{kCacheLine}));
+      }
       {
         std::lock_guard<std::mutex> lock(slabs_mu_);
-        slabs_.push_back(slab);
+        if (mapped) {
+          ++mapped_slabs_;
+        } else {
+          slabs_.push_back(slab);
+        }
       }
       SlabDirectory::instance().add(slab, kSlabBytes);
       sh.bump = slab;
@@ -246,7 +290,8 @@ class NodePool {
 
   Shard shards_[ds::kMaxThreads];
   std::mutex slabs_mu_;
-  std::vector<void*> slabs_;
+  std::vector<void*> slabs_;       // volatile (malloc'd) slabs only
+  std::size_t mapped_slabs_ = 0;   // slabs carved from a mapped heap
 };
 
 }  // namespace repro::mem

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <csignal>
 #include <cstdint>
 
 namespace repro::pmem::crash {
@@ -48,6 +49,10 @@ inline std::atomic<std::uint64_t>& remaining_cell() {
 inline std::atomic<std::uint64_t>& seen_cell() {
   static std::atomic<std::uint64_t> s{0};
   return s;
+}
+inline std::atomic<std::uint64_t>& kill_remaining_cell() {
+  static std::atomic<std::uint64_t> k{0};
+  return k;
 }
 }  // namespace detail
 
@@ -96,8 +101,29 @@ inline void check() {
   if (crashed()) throw CrashUnwind{events()};
 }
 
+// True process-kill injection for the fork-kill harness
+// (harness/killfuzz.hpp): the n-th persistence instruction from now
+// raises SIGKILL instead of throwing CrashUnwind — an uncatchable end
+// at a deterministic instruction boundary, so a {seed, kill_point}
+// reproducer replays bit-for-bit in a fresh child process.  Shares
+// on_instruction() with the simulated countdown but is independent of
+// arm()/disarm(): the killed process never gets to disarm anything.
+inline void arm_kill(std::uint64_t n) {
+  detail::kill_remaining_cell().store(n, std::memory_order_relaxed);
+}
+
 // Called at the top of pmem::flush/fence/psync, before any effect.
 inline void on_instruction() {
+  // The kill countdown first: it models power failing AT this
+  // instruction boundary, before the instruction's effect.  Driven
+  // from concurrent workers two threads can race the decrement past
+  // zero; the first one to hit 1 raises and the process is gone, so
+  // the transient wrap in the loser is unobservable.
+  auto& kill = detail::kill_remaining_cell();
+  if (kill.load(std::memory_order_relaxed) > 0 &&
+      kill.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    std::raise(SIGKILL);  // uncatchable; does not return
+  }
   check();
   if (!armed()) {
     // Close the latch race: another thread may have fired the crash

@@ -31,6 +31,13 @@
 // has not committed.  Instructions execute as in count_only (no real
 // clflush), so the shadow-vs-count_only delta in the benches isolates
 // the tracking overhead.
+// mmap mode (pmem/mmap_heap.hpp) is the file-backed backend: structures
+// live in a MAP_SHARED heap file and pwb maps to clwb (clflush on CPUs
+// without it) with pfence/psync as sfence, so the durable image a
+// killed process leaves in the file is governed by the same
+// instructions the paper counts.  On non-x86 hosts the fence mapping
+// falls back to msync over the mapped heap (the attach installs the
+// hook below).
 #pragma once
 
 #include <atomic>
@@ -42,6 +49,7 @@
 #include "repro/pmem/shadow.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
 #include <immintrin.h>
 #endif
 
@@ -53,6 +61,7 @@ enum class Mode {
   private_cache,  // persistence is free: count but do not execute
   count_only,     // deterministic instruction-count experiments
   shadow,         // count_only execution + shadow-NVM write-log tracking
+  mmap,           // file-backed heap: clwb+sfence (msync fallback)
 };
 
 // Which persistence placement a detectable algorithm uses: the general
@@ -142,10 +151,53 @@ struct FlushBuffer {
 };
 inline thread_local FlushBuffer tl_flushbuf{};
 
+#if defined(__x86_64__) || defined(_M_X64)
+// clwb keeps the line resident while starting its write-back — the
+// right pwb mapping for a live mapped heap, where clflush would evict
+// the line a structure is about to CAS again.  Availability is a CPUID
+// bit (leaf 7, EBX bit 24); CPUs without it fall back to clflush.
+inline bool cpu_has_clwb() {
+  static const bool has = [] {
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (__get_cpuid_count(7, 0, &a, &b, &c, &d) == 0) return false;
+    return ((b >> 24) & 1u) != 0;
+  }();
+  return has;
+}
+
+inline void clwb_line(std::uintptr_t line) {
+  if (cpu_has_clwb()) {
+    // clwb (%rax): encoded raw so the TU needs no -mclwb.
+    asm volatile(".byte 0x66, 0x0f, 0xae, 0x30"
+                 :
+                 : "a"(reinterpret_cast<const void*>(line))
+                 : "memory");
+  } else {
+    _mm_clflush(reinterpret_cast<const void*>(line));
+  }
+}
+#endif
+
+// msync fallback for hosts without cache write-back instructions: the
+// mmap heap's attach installs a function that msyncs the mapped range,
+// and fence()/psync() in mmap mode call it when no x86 sfence exists.
+inline std::atomic<void (*)()>& msync_hook_cell() {
+  static std::atomic<void (*)()> h{nullptr};
+  return h;
+}
+
 inline void exec_flush(std::uintptr_t line) {
-  if (mode() == Mode::shared_cache) {
+  const Mode m = mode();
+  if (m == Mode::shared_cache) {
 #if defined(__x86_64__) || defined(_M_X64)
     _mm_clflush(reinterpret_cast<const void*>(line));
+#else
+    (void)line;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  } else if (m == Mode::mmap) {
+#if defined(__x86_64__) || defined(_M_X64)
+    clwb_line(line);
 #else
     (void)line;
     std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -220,11 +272,18 @@ inline void fence() {
   ++detail::tl_counters.fences;
   detail::drain_flush_buffer();
   if (shadow::enabled()) shadow::on_fence();
-  if (mode() == Mode::shared_cache) {
+  const Mode m = mode();
+  if (m == Mode::shared_cache || m == Mode::mmap) {
 #if defined(__x86_64__) || defined(_M_X64)
     _mm_sfence();
 #else
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (m == Mode::mmap) {
+      if (auto* hook = detail::msync_hook_cell().load(
+              std::memory_order_acquire)) {
+        hook();
+      }
+    }
 #endif
   }
 }
@@ -235,13 +294,52 @@ inline void psync() {
   ++detail::tl_counters.psyncs;
   detail::drain_flush_buffer();
   if (shadow::enabled()) shadow::on_fence();
-  if (mode() == Mode::shared_cache) {
+  const Mode m = mode();
+  if (m == Mode::shared_cache || m == Mode::mmap) {
 #if defined(__x86_64__) || defined(_M_X64)
     _mm_sfence();
 #else
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (m == Mode::mmap) {
+      if (auto* hook = detail::msync_hook_cell().load(
+              std::memory_order_acquire)) {
+        hook();
+      }
+    }
 #endif
   }
+}
+
+// Uncounted, un-fuzzed range persistence for heap-internal metadata
+// (header fields, root-slot publication, freshly-constructed root
+// objects).  Deliberately NOT flush()/fence(): those count toward the
+// per-op instruction tallies and toward the crash/kill countdowns, and
+// heap bookkeeping must perturb neither — a {seed, kill_point} replay
+// must land on the same *algorithm* instruction regardless of how many
+// slabs the allocator happened to carve.
+inline void persist_range_raw(const void* p, std::size_t bytes) {
+  const auto lo =
+      reinterpret_cast<std::uintptr_t>(p) & detail::kFlushLineMask;
+  const auto hi = reinterpret_cast<std::uintptr_t>(p) + bytes;
+#if defined(__x86_64__) || defined(_M_X64)
+  for (std::uintptr_t line = lo; line < hi; line += 64) {
+    detail::clwb_line(line);
+  }
+  _mm_sfence();
+#else
+  (void)lo;
+  (void)hi;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (auto* hook =
+          detail::msync_hook_cell().load(std::memory_order_acquire)) {
+    hook();
+  }
+#endif
+}
+
+// Install/clear the msync fallback (mmap_heap.hpp's attach/detach).
+inline void set_msync_hook(void (*hook)()) {
+  detail::msync_hook_cell().store(hook, std::memory_order_release);
 }
 
 // A word that notionally lives in NVRAM.  Plain load/store/CAS plus
