@@ -10,6 +10,12 @@
 //                      non-zero (the ctest / CI gate) and writes the
 //                      {structure, seed, crash_point} reproducers to
 //                      REPRO_CRASH_REPRO (default crash_repro.jsonl).
+//   chain-fuzz       — the repeated-crash adversary: every fuzz point
+//                      crashes again inside the recovery pass (at the
+//                      RecoverySeal consolidation write), up to
+//                      REPRO_CHAIN_DEPTH times, re-recovering after
+//                      each link and holding recovery to idempotence.
+//                      REPRO_CHAIN_POINTS iterations per structure.
 //   conc-fuzz        — the concurrent crash-point fuzzer:
 //                      REPRO_CONC_FUZZ_POINTS iterations per
 //                      structure, each spawning REPRO_CONC_FUZZ_THREADS
@@ -22,6 +28,18 @@
 //                      REPRO_HISTORY_DUMP (default crash_history.jsonl
 //                      — the CI artifact; tests/test_corpus.cpp shows
 //                      the local replay).
+//   tdeath-fuzz      — per-thread death: the armed instruction kills
+//                      only the thread that hits it; survivors race
+//                      on, a fresh thread adopts the dead lane's slot
+//                      and runs recover(), and the checker audits the
+//                      merged history.  REPRO_TDEATH_POINTS
+//                      iterations per structure.
+//   stall-fuzz       — the stalled-thread adversary: one worker parks
+//                      at a persistence boundary across a full
+//                      crash+recovery, resumes afterwards, and both
+//                      the durable cut and the post-resume history
+//                      must stay consistent.  REPRO_STALL_POINTS
+//                      iterations per structure.
 //   crash-lists/-q   — the PR2 wall-clock crash scenario kept as a
 //                      regression point: multi-threaded workload,
 //                      crash at an operation boundary, recover()
@@ -38,7 +56,17 @@
 // reruns the exact iteration sequence (iteration seeds derive from
 // {REPRO_SEED, iteration}); tests/test_crash_engine.cpp shows the
 // single-iteration fuzz_one() replay of one {seed, crash_point} pair.
+// A chain-fuzz reproducer additionally carries a crash_chain array;
+// replay it with CrashPlan::replay_chain (tests/test_corpus.cpp).
+//
+// REPRO_SCENARIO=<single-crash|repeated-crash|thread-death|
+// stalled-thread> retargets the base crash-fuzz / conc-fuzz figures at
+// a different scenario family (the dedicated chain/tdeath/stall
+// figures are usually more convenient; the override exists for
+// replaying a reproducer under the exact figure name CI reported).
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_common.hpp"
 
@@ -74,6 +102,53 @@ int main(int argc, char** argv) {
   conc.conc_plan.points = env_points("REPRO_CONC_FUZZ_POINTS", 100);
   conc.conc_plan.threads = env_points("REPRO_CONC_FUZZ_THREADS", 3);
 
+  // REPRO_SCENARIO retargets the two base fuzz figures (reproducer
+  // replay under the figure name CI reported); the dedicated scenario
+  // figures below are the normal way to run the families.
+  if (const char* sc = std::getenv("REPRO_SCENARIO");
+      sc != nullptr && sc[0] != '\0') {
+    ScenarioKind kind = ScenarioKind::single_crash;
+    if (!scenario_from_name(sc, kind)) {
+      std::fprintf(stderr, "repro: unknown REPRO_SCENARIO '%s'\n", sc);
+      return 2;
+    }
+    if (kind == ScenarioKind::repeated_crash) {
+      fuzz.crash_plan.scenario = kind;
+    } else if (kind != ScenarioKind::single_crash) {
+      conc.conc_plan.scenario = kind;
+    }
+  }
+
+  ExperimentSpec chain;
+  chain.figure = "chain-fuzz";
+  chain.what =
+      "repeated-crash adversary: chained crashes inside recovery, "
+      "recovery held to idempotence";
+  chain.structures = {"trait:detectable"};
+  chain.crash_plan.points = env_points("REPRO_CHAIN_POINTS", 100);
+  chain.crash_plan.scenario = ScenarioKind::repeated_crash;
+  chain.crash_plan.chain_depth = env_points("REPRO_CHAIN_DEPTH", 3);
+
+  ExperimentSpec tdeath;
+  tdeath.figure = "tdeath-fuzz";
+  tdeath.what =
+      "per-thread death: survivors race on, a fresh thread adopts the "
+      "dead lane and recovers it";
+  tdeath.structures = {"trait:detectable"};
+  tdeath.conc_plan.points = env_points("REPRO_TDEATH_POINTS", 60);
+  tdeath.conc_plan.threads = env_points("REPRO_CONC_FUZZ_THREADS", 3);
+  tdeath.conc_plan.scenario = ScenarioKind::thread_death;
+
+  ExperimentSpec stall;
+  stall.figure = "stall-fuzz";
+  stall.what =
+      "stalled-thread adversary: a worker parks across crash+recovery "
+      "and resumes late";
+  stall.structures = {"trait:detectable"};
+  stall.conc_plan.points = env_points("REPRO_STALL_POINTS", 60);
+  stall.conc_plan.threads = env_points("REPRO_CONC_FUZZ_THREADS", 3);
+  stall.conc_plan.scenario = ScenarioKind::stalled_thread;
+
   ExperimentSpec lists;
   lists.figure = "crash-lists";
   lists.what = "detectable recovery after a mid-interval crash (lists)";
@@ -105,5 +180,6 @@ int main(int argc, char** argv) {
                     repro::pmem::Mode::mmap};
 
   return repro::bench::experiment_main(
-      argc, argv, {fuzz, conc, lists, queues, overhead});
+      argc, argv,
+      {fuzz, chain, conc, tdeath, stall, lists, queues, overhead});
 }

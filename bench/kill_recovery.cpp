@@ -11,6 +11,9 @@
 //   REPRO_KILL_OPS      per-lane operation budget  (default 512)
 //   REPRO_KILL_TIMED=1  parent-timed SIGKILL instead of deterministic
 //                       armed kill points
+//   REPRO_KILL_DOUBLE=1 double-kill scenario: a second SIGKILL is
+//                       armed inside the first verifier's recovery
+//                       pass; a third fresh process gives the verdict
 //   REPRO_HEAP_PATH     heap file (default /tmp/repro_heap.<pid>.pmem;
 //                       journal and diagnostics ride alongside it)
 //   REPRO_KEEP_HEAP=1   keep the last trial's heap file for inspection
@@ -79,6 +82,7 @@ int persist_smoke() {
 int kill_campaign() {
   const int trials = env_int("REPRO_KILL_TRIALS", 200);
   const bool timed = env_int_nonneg("REPRO_KILL_TIMED", 0) != 0;
+  const bool dbl = env_int_nonneg("REPRO_KILL_DOUBLE", 0) != 0;
   const char* repro_path = std::getenv("REPRO_KILL_REPRO");
   const bool keep_heap = env_int_nonneg("REPRO_KEEP_HEAP", 0) != 0;
 
@@ -86,17 +90,18 @@ int kill_campaign() {
   int total_infra = 0;
   int total_trials = 0;
   kf::KillPlan plan = base_plan();
+  plan.double_kill = dbl;
   for (kf::Family f : kf::all_families()) {
     plan.family = f;
     const kf::KillReport rep = kf::kill_many(plan, trials, timed);
     std::printf(
         "kill-recovery %-10s trials=%d kills=%d completed=%d "
-        "vacuous=%d infra_skips=%d violations=%d mode=%s threads=%d "
-        "seed=0x%llx\n",
+        "vacuous=%d verifier_kills=%d infra_skips=%d violations=%d "
+        "mode=%s threads=%d seed=0x%llx\n",
         kf::family_name(f), rep.trials, rep.kills, rep.completed,
-        rep.vacuous, rep.infra_skips, rep.violations,
-        timed ? "timed" : "armed", plan.threads,
-        static_cast<unsigned long long>(plan.seed));
+        rep.vacuous, rep.verifier_kills, rep.infra_skips,
+        rep.violations, dbl ? "double-kill" : (timed ? "timed" : "armed"),
+        plan.threads, static_cast<unsigned long long>(plan.seed));
     for (const kf::KillFailure& x : rep.failures) {
       std::fprintf(stderr,
                    "  FAIL family=%s seed=0x%llx kill_point=%llu "

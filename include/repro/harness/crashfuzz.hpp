@@ -55,6 +55,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -78,6 +79,42 @@
 
 namespace repro::harness {
 
+// Which adversarial crash family an iteration runs (README "Crash
+// scenarios").  single_crash is the PR 4/5 behaviour: one full-system
+// stop, one recovery pass.  The single-threaded driver additionally
+// understands repeated_crash; the concurrent driver understands
+// thread_death and stalled_thread.
+enum class ScenarioKind {
+  single_crash,    // one full-system stop, one recovery pass
+  repeated_crash,  // chained crashes landing inside recovery (K <= 4)
+  thread_death,    // one thread dies; survivors race on; slot adopted
+  stalled_thread,  // a worker parks across crash+recovery, resumes late
+};
+
+inline const char* scenario_name(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::repeated_crash: return "repeated-crash";
+    case ScenarioKind::thread_death: return "thread-death";
+    case ScenarioKind::stalled_thread: return "stalled-thread";
+    default: return "single-crash";
+  }
+}
+
+// REPRO_SCENARIO parsing (bench drivers).  Returns false on an
+// unknown name, leaving `out` untouched.
+inline bool scenario_from_name(const std::string& name,
+                               ScenarioKind& out) {
+  for (ScenarioKind k :
+       {ScenarioKind::single_crash, ScenarioKind::repeated_crash,
+        ScenarioKind::thread_death, ScenarioKind::stalled_thread}) {
+    if (name == scenario_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 // The crash-schedule dimension of an ExperimentSpec: how many crash
 // points to fuzz per structure, and where they land.
 struct CrashPlan {
@@ -90,6 +127,15 @@ struct CrashPlan {
   int ops_budget = 256;     // ops per iteration if the crash never fires
   pmem::shadow::CrashFidelity fidelity =
       pmem::shadow::CrashFidelity::adversarial;
+  ScenarioKind scenario = ScenarioKind::single_crash;
+  // repeated_crash: maximum chained crashes after the first (clamped to
+  // [1, 3], so one iteration sees at most 4 power failures).  Each
+  // chain point is derived from {iter_seed, crash_point, depth}, so a
+  // {seed, crash_point} pair replays the whole chain bit-for-bit;
+  // `replay_chain` overrides the derivation with explicit points (the
+  // reproducer's crash_chain field).
+  int chain_depth = 3;
+  std::vector<std::uint64_t> replay_chain;
 
   std::uint64_t effective_seed() const {
     return seed != 0 ? seed : global_seed();
@@ -108,12 +154,20 @@ struct FuzzFailure {
   std::uint64_t crash_point = 0;  // persistence-instruction index
   int iteration = -1;
   std::string what;
+  // repeated_crash only: the chained crash points that had fired before
+  // the violation (in order).  Empty for the single-crash family, so
+  // old-format reproducers stay valid.
+  std::vector<std::uint64_t> crash_chain;
 };
 
 // Aggregate over one structure's fuzz run.
 struct FuzzReport {
   int points = 0;      // iterations executed
   int crashes = 0;     // iterations where the crash actually fired
+  // repeated_crash: crashes that landed inside a recovery pass, on top
+  // of `crashes` (which keeps its one-per-iteration meaning so the
+  // corpus replay invariants hold unchanged).
+  int chain_crashes = 0;
   int violations = 0;  // failed contract checks (0 == pass)
   std::uint64_t total_ops = 0;
   double recovery_us_total = 0;
@@ -160,6 +214,56 @@ inline bool set_equals(const std::set<std::int64_t>& model,
   return walked.size() == model.size() &&
          std::equal(walked.begin(), walked.end(), model.begin());
 }
+
+// The recovery pass itself (AnnouncementBoard::recover) is pure loads,
+// so a crash re-armed "inside recovery" would have no persistence
+// instruction to land on.  Real recovery procedures checkpoint what
+// they computed, and that consolidation write is exactly where the
+// repeated-crash adversary aims: after every recovery pass the driver
+// persists a {seq, valid} pair on two separate cache lines with the
+// ordered protocol
+//
+//   seq := epoch;   pwb(seq);   pfence;        <- the ordering fence
+//   valid := epoch; pwb(valid); pfence;
+//
+// whose invariant — valid durable at epoch e implies seq durable at e —
+// is checked after each chained crash.  REPRO_MUTATE_DROP_RECOVERY_FENCE
+// elides the first pfence, leaving both lines pending at the second
+// fence; an adversarial crash there can commit valid while dropping
+// seq, the classic recovery-path ordering bug this family exists to
+// catch (the repeated-crash mutation self-test pins the detection
+// budget).
+struct RecoverySeal {
+  struct alignas(64) Cell {
+    pmem::persist<std::uint64_t> v;
+  };
+  Cell seq;
+  Cell valid;
+
+  // Persistence instructions one write() issues: 4 unmutated, 3 with
+  // the fence dropped.  Chain points are drawn from [1, kSealWindow];
+  // a point past the seal's instruction stream simply lets the seal
+  // complete and ends the chain.
+  static constexpr std::uint64_t kSealWindow = 5;
+
+  void write(std::uint64_t epoch) {
+    seq.v.store(epoch);
+    pmem::flush(&seq.v);
+#if !defined(REPRO_MUTATE_DROP_RECOVERY_FENCE)
+    pmem::fence();
+#endif
+    valid.v.store(epoch);
+    pmem::flush(&valid.v);
+    pmem::fence();
+  }
+
+  // Post-crash invariant over the (physically rewound) durable values.
+  bool durable_consistent() const {
+    const std::uint64_t s = seq.v.load();
+    const std::uint64_t ok = valid.v.load();
+    return ok == 0 || s >= ok;
+  }
+};
 
 }  // namespace fuzz_detail
 
@@ -211,12 +315,21 @@ inline void fuzz_one(const AlgoEntry& algo, const CrashPlan& plan,
                                 (is_set || is_queue) &&
                                 !algo.has_trait("no-reclaim");
 
+  // Chained crash points that have fired so far this iteration
+  // (repeated_crash); recorded into any failure as its crash_chain.
+  std::vector<std::uint64_t> chain_points;
   auto fail = [&](const std::string& what) {
     ++report.violations;
     if (report.failures.size() < 8) {
-      report.failures.push_back({algo.name, iter_seed,
-                                 plan.effective_seed(), crash_point,
-                                 iteration, what});
+      FuzzFailure f;
+      f.structure = algo.name;
+      f.seed = iter_seed;
+      f.base_seed = plan.effective_seed();
+      f.crash_point = crash_point;
+      f.iteration = iteration;
+      f.what = what;
+      f.crash_chain = chain_points;
+      report.failures.push_back(std::move(f));
     }
   };
 
@@ -490,6 +603,76 @@ inline void fuzz_one(const AlgoEntry& algo, const CrashPlan& plan,
         }
       }
 
+      // Repeated-crash scenario: the adversary crashes again inside
+      // the recovery pass — at the RecoverySeal consolidation write —
+      // up to chain_depth times, re-recovering after each and holding
+      // recovery to idempotence.  The machine stays crashed between
+      // links (each shadow::crash keeps the accumulated undo log); the
+      // single uncrash() below restores the whole pre-crash state.
+      if (plan.scenario == ScenarioKind::repeated_crash) {
+        fuzz_detail::RecoverySeal seal;
+        ds::Recovered prev = rec;
+        const int depth_cap = std::clamp(plan.chain_depth, 1, 3);
+        for (int depth = 0; depth < depth_cap; ++depth) {
+          const auto du = static_cast<std::uint64_t>(depth);
+          const std::uint64_t chain_point =
+              static_cast<std::size_t>(depth) < plan.replay_chain.size()
+                  ? plan.replay_chain[static_cast<std::size_t>(depth)]
+                  : 1 + mix_seed(mix_seed(iter_seed, crash_point), du) %
+                            fuzz_detail::RecoverySeal::kSealWindow;
+          pmem::crash::arm(chain_point);
+          bool chained = false;
+          try {
+            seal.write(du + 1);
+          } catch (const pmem::crash::CrashUnwind&) {
+            chained = true;
+          }
+          pmem::crash::disarm();
+          if (!chained) break;  // seal completed; the chain ends here
+          ++report.chain_crashes;
+          chain_points.push_back(chain_point);
+          Rng chain_coin(mix_seed(mix_seed(iter_seed, crash_point),
+                                  0x5EA1'0000ull + du));
+          shadow::crash(
+              plan.fidelity,
+              [&chain_coin] { return chain_coin.below(2) == 0; },
+              /*keep_undo=*/true);
+          if (!seal.durable_consistent()) {
+            fail("recovery seal ordering violated: valid durable "
+                 "without its seq (crash inside recover())");
+          }
+          // Idempotence: the K-th recovery pass must return the
+          // verdict the first one did — the chained crash could only
+          // have touched the seal's own lines.
+          const auto t1 = std::chrono::steady_clock::now();
+          const ds::Recovered again = s->recover(slot);
+          report.recovery_us_total +=
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t1)
+                  .count();
+          if (again.seq != prev.seq ||
+              again.completed != prev.completed ||
+              again.kind != prev.kind || again.key != prev.key ||
+              again.ok != prev.ok || again.result != prev.result) {
+            fail("recovery is not idempotent across a crash inside "
+                 "recover()");
+          }
+          // Nor can the structure's durable contents have moved.
+          if (contents_checked && walk_ok) {
+            std::vector<std::int64_t> keys_again;
+            std::vector<std::uint64_t> values_again;
+            const bool rewalk_ok = is_set
+                                       ? s->snapshot_keys(keys_again)
+                                       : s->snapshot_values(values_again);
+            if (!rewalk_ok || (is_set ? keys_again != durable_keys
+                                      : values_again != durable_values)) {
+              fail("chained recovery mutated the durable contents");
+            }
+          }
+          prev = again;
+        }
+      }
+
       // Back to the pre-crash machine state so teardown and
       // reclamation run on consistent memory.
       shadow::uncrash();
@@ -533,11 +716,21 @@ inline void write_reproducer(const FuzzReport& report,
     std::fprintf(
         f,
         "{\"structure\":\"%s\",\"seed\":%llu,\"base_seed\":%llu,"
-        "\"crash_point\":%llu,\"iteration\":%d,\"what\":\"%s\"}\n",
+        "\"crash_point\":%llu,\"iteration\":%d",
         x.structure.c_str(), static_cast<unsigned long long>(x.seed),
         static_cast<unsigned long long>(x.base_seed),
-        static_cast<unsigned long long>(x.crash_point), x.iteration,
-        x.what.c_str());
+        static_cast<unsigned long long>(x.crash_point), x.iteration);
+    if (!x.crash_chain.empty()) {
+      // Extended (repeated-crash) format; absent for single-crash
+      // failures so existing consumers keep parsing.
+      std::fprintf(f, ",\"crash_chain\":[");
+      for (std::size_t i = 0; i < x.crash_chain.size(); ++i) {
+        std::fprintf(f, "%s%llu", i == 0 ? "" : ",",
+                     static_cast<unsigned long long>(x.crash_chain[i]));
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, ",\"what\":\"%s\"}\n", x.what.c_str());
   }
   std::fclose(f);
 }
@@ -581,6 +774,14 @@ struct ConcurrentCrashPlan {
   pmem::shadow::CrashFidelity fidelity =
       pmem::shadow::CrashFidelity::adversarial;
   std::uint64_t checker_states = 4'000'000;  // DFS node budget
+  // single_crash (the PR 5 behaviour), thread_death, or
+  // stalled_thread; repeated_crash belongs to the single-threaded
+  // driver.
+  ScenarioKind scenario = ScenarioKind::single_crash;
+  // stalled_thread: horizon for the stall-point draw (the stalled
+  // worker parks at that persistence instruction, strictly before the
+  // crash point).  0 → max_events / 2.
+  std::uint64_t stall_horizon = 0;
 
   std::uint64_t effective_seed() const {
     return seed != 0 ? seed : global_seed();
@@ -677,8 +878,13 @@ inline void concurrent_fuzz_one(const AlgoEntry& algo,
   // (REPRO_CONC_FUZZ_THREADS cranked up) must shrink the per-thread
   // budget rather than silently turn every verdict into
   // budget_exhausted — an "undecided" gate that can't fail verifies
-  // nothing.
-  const int nthreads = std::clamp(plan.threads, 1, 64);
+  // nothing.  The adversarial scenarios need a victim AND at least one
+  // survivor, so they floor the thread count at 2.
+  const int nthreads = std::clamp(
+      plan.scenario == ScenarioKind::single_crash
+          ? plan.threads
+          : std::max(plan.threads, 2),
+      1, 64);
   const int ops_per_thread =
       std::clamp(plan.ops_per_thread, 1, 128 / nthreads);
   HistoryRecorder rec(nthreads,
@@ -695,16 +901,37 @@ inline void concurrent_fuzz_one(const AlgoEntry& algo,
   struct alignas(64) WorkerState {
     int slot = -1;
     std::uint64_t seq_before = 0;  // board seq after the last response
+    bool unwound = false;          // left via CrashUnwind
   };
   std::vector<WorkerState> ws(static_cast<std::size_t>(nthreads));
 
   bool crashed = false;
+  bool parked = false;  // stalled_thread: a worker is parked on the gate
   {
     pmem::ModeGuard mode(pmem::Mode::shadow);
     shadow::reset();
+    if (plan.scenario == ScenarioKind::thread_death) {
+      pmem::crash::set_thread_latch(true);
+    }
+    if (plan.scenario == ScenarioKind::stalled_thread) {
+      // Stall strictly before the crash so the parked worker spans the
+      // failure: both countdowns drain on the same instruction stream,
+      // and the parked thread stops consuming instructions, so the
+      // crash lands on a survivor.
+      const std::uint64_t horizon =
+          plan.stall_horizon != 0
+              ? plan.stall_horizon
+              : std::max<std::uint64_t>(1, plan.max_events / 2);
+      const std::uint64_t stall_point = 1 + rng.below(horizon);
+      if (crash_point <= stall_point) {
+        crash_point = stall_point + 1 + (crash_point % 8);
+      }
+      pmem::crash::arm_stall(stall_point);
+    }
     pmem::crash::arm(crash_point);
+    std::atomic<int> workers_done{0};
+    std::vector<std::thread> workers;
     {
-      std::vector<std::thread> workers;
       workers.reserve(static_cast<std::size_t>(nthreads));
       for (int t = 0; t < nthreads; ++t) {
         workers.emplace_back([&, t] {
@@ -765,10 +992,32 @@ inline void concurrent_fuzz_one(const AlgoEntry& algo,
               }
             }
           } catch (const pmem::crash::CrashUnwind&) {
-            // The lane's last invoke stays dangling: pending at crash.
+            // The lane's last invoke stays dangling: pending at crash
+            // (or at this thread's own death in latch mode).
+            w.unwound = true;
           }
+          workers_done.fetch_add(1, std::memory_order_release);
         });
       }
+    }
+    // Quiescence: every worker finished — or, in the stalled scenario,
+    // everyone except the parked worker.  The parked thread sits inside
+    // on_instruction's gate spin, before the instruction's effect,
+    // holding no shard locks — so crash rewind and verification can run
+    // around it; its join is deferred until after release.
+    if (plan.scenario == ScenarioKind::stalled_thread) {
+      for (;;) {
+        const int finished =
+            workers_done.load(std::memory_order_acquire);
+        if (finished == nthreads) break;
+        if (finished == nthreads - 1 && pmem::crash::stall_hit()) {
+          parked = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+    if (!parked) {
       for (std::thread& th : workers) th.join();
     }
     crashed = pmem::crash::crashed();
@@ -860,11 +1109,75 @@ inline void concurrent_fuzz_one(const AlgoEntry& algo,
                                  ? s->snapshot_keys(spec.durable_keys)
                                  : s->snapshot_values(spec.durable_values);
         if (walk_ok) {
-          spec.check_durable = true;
+          // Stalled-thread + set: the parked worker can hold an
+          // unfenced incoming link across the whole window, so later
+          // completed inserts build durably on top of it and the
+          // durable image need not be a prefix of any linearization —
+          // the same cross-thread hostage window that already exempts
+          // sets from the must-inside-the-cut rule (linearize.hpp),
+          // held open for the stall's full duration.  The walk
+          // integrity check and the linearization itself still run;
+          // only the prefix-cut constraint is waived.  Queues/stacks
+          // keep it: persist-link-before-publish closes the window.
+          spec.check_durable =
+              !(plan.scenario == ScenarioKind::stalled_thread && is_set);
         } else {
           walk_failed = true;
           fail("durable image walk failed: link into never-persisted "
                "memory or a cycle");
+        }
+      }
+    }
+
+    // Per-thread death: the machine never lost power — the latch-mode
+    // countdown killed exactly one worker mid-op while the survivors
+    // raced to completion on the live structure.  A fresh thread
+    // adopts the dead lane's slot, runs recover() against it, and the
+    // adopted verdict feeds the checker: descriptor completed-with-
+    // response at seq_before+1 makes the dead lane's pending op a
+    // `must` with that response.  No durable cut — the volatile state
+    // is the ground truth here.
+    if (plan.scenario == ScenarioKind::thread_death) {
+      int dead_lane = -1;
+      for (int t = 0; t < nthreads; ++t) {
+        if (ws[static_cast<std::size_t>(t)].unwound) dead_lane = t;
+      }
+      if (dead_lane >= 0) {
+        ++report.crashes;  // the adversary fired
+        const WorkerState& w = ws[static_cast<std::size_t>(dead_lane)];
+        // The dead worker's thread-exit cleanup already cleared its
+        // epoch pin; reset_slot_pin makes the harness's "this lane is
+        // dead" claim explicit before the slot is adopted.
+        mem::EpochDomain::instance().reset_slot_pin(w.slot);
+        ds::Recovered adopted;
+        {
+          std::thread adopter([&] { adopted = s->recover(w.slot); });
+          adopter.join();
+        }
+        lin::Op* pend = nullptr;
+        for (lin::Op& op : ops) {
+          if (op.lane == dead_lane && op.response_ts == lin::kNever) {
+            pend = &op;
+          }
+        }
+        if (pend != nullptr) {
+          if (adopted.seq == w.seq_before + 1 && adopted.completed &&
+              adopted.kind == pend->kind && adopted.key == pend->input) {
+            pend->pending = lin::Pending::must;
+            pend->ok = adopted.ok;
+            pend->result = adopted.result;
+          }
+          char diag[128];
+          std::snprintf(diag, sizeof(diag),
+                        "; dead lane %d pending %s(%lld) verdict=%s "
+                        "ok=%d result=%llu",
+                        dead_lane, op_kind_name(pend->kind),
+                        static_cast<long long>(pend->input),
+                        pend->pending == lin::Pending::must ? "must"
+                                                            : "may",
+                        pend->ok ? 1 : 0,
+                        static_cast<unsigned long long>(pend->result));
+          crash_diag += diag;
         }
       }
     }
@@ -901,6 +1214,51 @@ inline void concurrent_fuzz_one(const AlgoEntry& algo,
     report.total_ops += ops.size();
 
     if (crashed) shadow::uncrash();
+
+    if (parked) {
+      // Power is back (uncrash restored the volatile image) and the
+      // plan is disarmed: release the parked worker.  It finishes the
+      // op it was parked inside — its late stores land on the restored
+      // state — and runs the rest of its budget as ordinary ops.
+      pmem::crash::release_stall();
+      for (std::thread& th : workers) th.join();
+      pmem::crash::disarm_stall();
+
+      std::vector<lin::Op> ops_post = lin::ops_from_history(rec);
+      // The resumed response must agree with any `must` verdict the
+      // durable descriptor issued while the thread was parked: a
+      // committed-at-crash op cannot come back claiming a different
+      // outcome.
+      for (const lin::Op& before : ops) {
+        if (before.response_ts != lin::kNever) continue;
+        for (const lin::Op& after : ops_post) {
+          if (after.lane == before.lane && after.id == before.id &&
+              after.response_ts != lin::kNever &&
+              before.pending == lin::Pending::must &&
+              (after.ok != before.ok ||
+               after.result != before.result)) {
+            fail("stalled thread resumed with a response disagreeing "
+                 "with its durable must-verdict");
+          }
+        }
+      }
+      // And the full post-resume history must still linearize (no
+      // durable cut: the machine is back on) — the staller's late
+      // stores must not have corrupted the recovered state.
+      lin::Spec post_spec;
+      post_spec.kind = spec.kind;
+      post_spec.initial_keys = spec.initial_keys;
+      post_spec.initial_values = spec.initial_values;
+      post_spec.max_states = plan.checker_states;
+      const lin::Result post_res = lin::check(ops_post, post_spec);
+      report.checker_states += post_res.states;
+      if (post_res.verdict == lin::Verdict::violation) {
+        fail("post-resume history fails to linearize: " + post_res.what +
+             crash_diag);
+      } else if (post_res.verdict == lin::Verdict::budget_exhausted) {
+        ++report.undecided;
+      }
+    }
     shadow::reset();
   }
   holder.reset();

@@ -245,12 +245,33 @@ inline std::string point_scenario(const ExperimentSpec& spec,
   }
   if (spec.is_crash_fuzz()) {
     s += " fuzz=" + std::to_string(spec.crash_plan.points);
+    if (spec.crash_plan.scenario != ScenarioKind::single_crash) {
+      s += std::string(" ") + scenario_name(spec.crash_plan.scenario);
+    }
   }
   if (spec.is_conc_fuzz()) {
     s += " conc-fuzz=" + std::to_string(spec.conc_plan.points) + "x" +
          std::to_string(spec.conc_plan.threads) + "t";
+    if (spec.conc_plan.scenario != ScenarioKind::single_crash) {
+      s += std::string(" ") + scenario_name(spec.conc_plan.scenario);
+    }
   }
   return s;
+}
+
+// Machine-readable scenario-family column for the CSV/JSONL sinks:
+// empty for plain measurement points, the ScenarioKind name for fuzz
+// points (including the default single-crash family, so a sweep over
+// families is self-describing).
+inline std::string point_crash_scenario(const ExperimentSpec& spec) {
+  if (spec.is_crash_fuzz()) {
+    return scenario_name(spec.crash_plan.scenario);
+  }
+  if (spec.is_conc_fuzz()) {
+    return scenario_name(spec.conc_plan.scenario);
+  }
+  if (spec.crash_after_ms > 0) return "timed-stop";
+  return "";
 }
 
 namespace detail {
@@ -441,6 +462,7 @@ inline ResultRow run_point(const ExperimentSpec& spec, const Point& p) {
   row.algo = p.algo->name;
   row.mode = mode_name(p.mode);
   row.scenario = point_scenario(spec, p);
+  row.crash_scenario = point_crash_scenario(spec);
   row.seed = spec.is_crash_fuzz()  ? spec.crash_plan.effective_seed()
              : spec.is_conc_fuzz() ? spec.conc_plan.effective_seed()
                                    : global_seed();

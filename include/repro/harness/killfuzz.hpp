@@ -104,6 +104,12 @@ struct KillPlan {
   std::uint64_t kill_point = 0;  // >0: SIGKILL at n-th persistence instr
   int kill_delay_us = 0;         // >0: parent-timed SIGKILL instead
   std::size_t heap_bytes = pmem::MmapHeap::kDefaultBytes;
+  // Double-kill scenario: after the workload child dies, a second
+  // SIGKILL (its instruction index derived from `seed`) is armed
+  // inside the first VERIFIER's recovery/verify pass, and a third
+  // fresh process then delivers the verdict — crash-during-recovery
+  // with real process death.
+  bool double_kill = false;
 
   std::string journal_path() const { return heap_path + ".journal"; }
   std::string detail_path() const { return heap_path + ".viol"; }
@@ -113,6 +119,7 @@ struct TrialResult {
   bool infra_ok = true;  // fork/attach/exec machinery worked
   bool killed = false;   // the SIGKILL landed (else the budget ran out)
   bool vacuous = false;  // killed before the root finished setup
+  bool verifier_killed = false;  // double_kill: pass one died mid-verify
   int violations = 0;
   std::string what;  // first violation's diagnostic
 };
@@ -124,6 +131,7 @@ struct KillFailure {
   int delay_us = 0;
   int threads = 0;
   std::string what;
+  bool double_kill = false;
 };
 
 struct KillReport {
@@ -131,6 +139,7 @@ struct KillReport {
   int kills = 0;       // trials where the SIGKILL landed
   int completed = 0;   // child ran out its budget before the kill
   int vacuous = 0;
+  int verifier_kills = 0;  // double_kill: verifier passes SIGKILLed
   int infra_skips = 0; // environment failures (not violations)
   int violations = 0;
   std::vector<KillFailure> failures;  // first few, for the reproducer
@@ -140,6 +149,23 @@ namespace detail {
 
 inline constexpr std::int64_t kLaneKeySpan = 32;
 inline constexpr const char* kRootName = "structure";
+inline constexpr const char* kSealRootName = "vseal";
+
+// Verifier-pass seal (double-kill scenario).  verify_in_process is
+// pure loads — it issues no persistence instructions of its own — so
+// a kill armed inside the verifier would never fire.  The seal gives
+// the second SIGKILL a deterministic landing zone: a monotone
+// started/done counter pair bracketing the verify pass, written
+// through counted persist<> cells.  Each store_persist is a pwb +
+// pfence, so the bracket spans exactly kSealInstructions counted
+// instructions and a kill point in [1, kSealInstructions] always
+// lands (unless the pass exits vacuous between the brackets).
+// Invariant any later pass may check: started >= done.
+struct VerifySeal {
+  alignas(64) pmem::persist<std::uint64_t> started;
+  alignas(64) pmem::persist<std::uint64_t> done;
+};
+inline constexpr std::uint64_t kSealInstructions = 4;
 
 inline std::int64_t lane_key_base(int lane) {
   return static_cast<std::int64_t>(lane) * kLaneKeySpan;
@@ -719,31 +745,54 @@ int verify_queue(S* s, const Journal& j, int threads,
 
 // Attach + dispatch inside the verifier process.  Returns violations,
 // -1 for a vacuous trial (setup never finished), -2 for environment
-// failure.
-inline int verify_in_process(const KillPlan& plan, std::string& detail) {
+// failure.  A non-zero kill2_point arms a SIGKILL over the seal's
+// counted instructions (double-kill scenario) — this pass may never
+// return; the caller's parent process observes the signal instead.
+inline int verify_in_process(const KillPlan& plan, std::string& detail,
+                             std::uint64_t kill2_point = 0) {
   pmem::MmapHeap* heap =
       pmem::MmapHeap::attach(plan.heap_path, plan.heap_bytes);
   if (heap == nullptr) return -2;
   Journal j;
   j.parse(plan.journal_path());
+  VerifySeal* seal = nullptr;
+  if (plan.double_kill) {
+    // The seal's writes must run through the counted mmap persistence
+    // path (the root directory itself persists through the raw,
+    // uncounted path, so creating the root consumes no countdown).
+    pmem::set_mode(pmem::Mode::mmap);
+    seal = heap->root<VerifySeal>(kSealRootName);
+    if (seal == nullptr) return -2;
+    if (seal->done.load() > seal->started.load()) {
+      if (detail.empty()) {
+        detail = "verify seal corrupted: done counter ran ahead of "
+                 "started (recovery-pass bracket ordering broke)";
+      }
+      return 1;
+    }
+    if (kill2_point > 0) pmem::crash::arm_kill(kill2_point);
+    seal->started.store_persist(seal->started.load() + 1);
+  }
+  int v = -2;
   switch (plan.family) {
     case Family::isb_list: {
       auto* s = heap->find_root<ds::IsbListT<>>(kRootName);
-      if (s == nullptr) return -1;
-      return verify_list(s, j, detail);
+      v = s == nullptr ? -1 : verify_list(s, j, detail);
+      break;
     }
     case Family::isb_queue: {
       auto* s = heap->find_root<ds::IsbQueueT<>>(kRootName);
-      if (s == nullptr) return -1;
-      return verify_queue(s, j, plan.threads, detail);
+      v = s == nullptr ? -1 : verify_queue(s, j, plan.threads, detail);
+      break;
     }
     case Family::dt_list: {
       auto* s = heap->find_root<ds::DtListT<>>(kRootName);
-      if (s == nullptr) return -1;
-      return verify_list(s, j, detail);
+      v = s == nullptr ? -1 : verify_list(s, j, detail);
+      break;
     }
   }
-  return -2;
+  if (seal != nullptr) seal->done.store_persist(seal->done.load() + 1);
+  return v;
 }
 
 inline std::string slurp(const std::string& path) {
@@ -761,16 +810,23 @@ inline std::string slurp(const std::string& path) {
 // process; its address space must never have seen the child's heap).
 inline constexpr int kVerifyVacuous = 110;
 inline constexpr int kVerifyInfraFail = 120;
+// Sentinel (never an exit code): the armed verifier pass was itself
+// SIGKILLed — the double-kill landed mid-recovery.  The caller runs a
+// third fresh-process pass for the verdict.
+inline constexpr int kVerifyKilled = -3;
 
 // Forks a fresh process that maps the heap file, recovers, verifies,
 // and reports through its exit code (violations capped at 99).  The
-// first diagnostic lands in plan.detail_path().
-inline int fork_verify(const KillPlan& plan) {
+// first diagnostic lands in plan.detail_path().  kill2_point > 0 arms
+// the double-kill inside the verifier child; if that SIGKILL lands
+// the parent returns kVerifyKilled instead of an exit code.
+inline int fork_verify(const KillPlan& plan,
+                       std::uint64_t kill2_point = 0) {
   const pid_t pid = ::fork();
   if (pid < 0) return kVerifyInfraFail;
   if (pid == 0) {
     std::string detail;
-    const int v = detail::verify_in_process(plan, detail);
+    const int v = detail::verify_in_process(plan, detail, kill2_point);
     if (v == -2) ::_exit(kVerifyInfraFail);
     if (v == -1) ::_exit(kVerifyVacuous);
     if (v > 0) {
@@ -785,6 +841,7 @@ inline int fork_verify(const KillPlan& plan) {
   }
   int st = 0;
   ::waitpid(pid, &st, 0);
+  if (WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL) return kVerifyKilled;
   if (!WIFEXITED(st)) return kVerifyInfraFail;
   return WEXITSTATUS(st);
 }
@@ -792,7 +849,11 @@ inline int fork_verify(const KillPlan& plan) {
 // One full trial: fresh heap file, forked workload child, SIGKILL
 // (armed or parent-timed), then TWO independent fresh-process
 // verifications — recovery must be idempotent, so pass two re-walks
-// everything pass one recovered and must agree with it.
+// everything pass one recovered and must agree with it.  With
+// plan.double_kill the first verifier pass is itself SIGKILLed at a
+// seed-derived point inside its recovery seal and a third fresh
+// process becomes "pass one" — the idempotence agreement then spans a
+// state that already absorbed a crash during recovery.
 inline TrialResult kill_one(const KillPlan& plan) {
   TrialResult r;
   ::unlink(plan.heap_path.c_str());
@@ -834,7 +895,21 @@ inline TrialResult kill_one(const KillPlan& plan) {
     return r;
   }
 
-  const int first = fork_verify(plan);
+  // Double-kill scenario: arm a second SIGKILL inside the first
+  // verifier's recovery pass (point derived from the trial seed, so
+  // the reproducer replays it).  When it lands, a THIRD fresh process
+  // delivers the verdict — verifying that crashing during recovery
+  // leaves a state a later recovery still handles.
+  std::uint64_t kill2_point = 0;
+  if (plan.double_kill) {
+    kill2_point =
+        1 + mix_seed(plan.seed, 0xD0B13ull) % detail::kSealInstructions;
+  }
+  int first = fork_verify(plan, kill2_point);
+  if (first == kVerifyKilled) {
+    r.verifier_killed = true;
+    first = fork_verify(plan);
+  }
   if (first == kVerifyInfraFail) {
     r.infra_ok = false;
     return r;
@@ -896,11 +971,18 @@ inline KillReport kill_many(const KillPlan& proto, int trials,
       ++rep.completed;
     }
     if (t.vacuous) ++rep.vacuous;
+    if (t.verifier_killed) ++rep.verifier_kills;
     rep.violations += t.violations;
     if (t.violations > 0 && rep.failures.size() < 8) {
-      rep.failures.push_back({family_name(p.family), p.seed,
-                              p.kill_point, p.kill_delay_us, p.threads,
-                              t.what});
+      KillFailure f;
+      f.family = family_name(p.family);
+      f.seed = p.seed;
+      f.kill_point = p.kill_point;
+      f.delay_us = p.kill_delay_us;
+      f.threads = p.threads;
+      f.what = t.what;
+      f.double_kill = p.double_kill;
+      rep.failures.push_back(std::move(f));
     }
   }
   return rep;
@@ -921,11 +1003,13 @@ inline void write_kill_reproducer(const KillReport& report,
   for (const KillFailure& x : report.failures) {
     std::fprintf(f,
                  "{\"family\":\"%s\",\"seed\":%llu,\"kill_point\":%llu,"
-                 "\"delay_us\":%d,\"threads\":%d,\"what\":\"%s\"}\n",
+                 "\"delay_us\":%d,\"threads\":%d,\"double_kill\":%d,"
+                 "\"what\":\"%s\"}\n",
                  x.family.c_str(),
                  static_cast<unsigned long long>(x.seed),
                  static_cast<unsigned long long>(x.kill_point),
-                 x.delay_us, x.threads, x.what.c_str());
+                 x.delay_us, x.threads, x.double_kill ? 1 : 0,
+                 x.what.c_str());
   }
   std::fclose(f);
 }

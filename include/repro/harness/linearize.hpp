@@ -547,4 +547,26 @@ inline std::vector<Op> ops_from_history(const HistoryRecorder& h) {
   return ops_from_events(h.merged());
 }
 
+// Resolves a lane's pending op in place to a completed one — the
+// stalled-thread scenario's shape: a worker parked across a crash and
+// recovery resumes afterwards and finally responds.  The op keeps its
+// invoke, gains a response at `response_ts`, and its verdict becomes
+// `completed` with {ok, result} (overriding any must/may verdict a
+// recovery descriptor assigned while it was parked).  Returns false if
+// the lane has no pending op.
+inline bool resolve_pending(std::vector<Op>& ops, int lane,
+                            std::uint64_t response_ts, bool ok,
+                            std::uint64_t result) {
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    if (it->lane == lane && it->response_ts == kNever) {
+      it->response_ts = response_ts;
+      it->ok = ok;
+      it->result = result;
+      it->pending = Pending::completed;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace repro::harness::lin

@@ -49,6 +49,10 @@ struct ResultRow {
   std::uint64_t seed = 0;
   int crash_points = -1;      // crash-fuzz only; < 0 → n/a
   int crash_violations = -1;  // crash-fuzz only; < 0 → n/a
+  // Crash-scenario family name ("single-crash", "repeated-crash",
+  // "thread-death", "stalled-thread", "timed-stop"); "" for plain
+  // measurement points.
+  std::string crash_scenario;
 };
 
 class ResultSink {
@@ -163,7 +167,7 @@ class CsvSink final : public StreamSinkBase {
                "seconds,total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,"
                "psync_per_op,coalesced_pwb_per_op,allocs_per_op,"
                "retired_per_op,reuse_ratio,recovery_us,seed,"
-               "crash_points,crash_violations\n";
+               "crash_points,crash_violations,crash_scenario\n";
       header_written_ = true;
     }
     out() << r.run.point_index << ',' << r.figure << ',' << r.algo << ','
@@ -183,7 +187,7 @@ class CsvSink final : public StreamSinkBase {
     if (r.crash_points >= 0) out() << r.crash_points;
     out() << ',';
     if (r.crash_violations >= 0) out() << r.crash_violations;
-    out() << '\n';
+    out() << ',' << r.crash_scenario << '\n';
     out().flush();
   }
 
@@ -225,6 +229,10 @@ class JsonlSink final : public StreamSinkBase {
     if (r.crash_points >= 0) {
       out() << ",\"crash_points\":" << r.crash_points
             << ",\"crash_violations\":" << r.crash_violations;
+    }
+    if (!r.crash_scenario.empty()) {
+      out() << ",\"crash_scenario\":\"" << json_escape(r.crash_scenario)
+            << "\"";
     }
     out() << "}\n";
     out().flush();

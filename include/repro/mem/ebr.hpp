@@ -150,8 +150,30 @@ class EpochDomain {
   void pause_reclaim() {
     pause_depth_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Nested resumes only decrement; the *final* resume drains what this
+  // thread parked during the pause (retire() defers both the advance
+  // scan and reclaim_ready while paused, so without this a fuzz
+  // iteration's garbage would sit in limbo until the next iteration's
+  // retire tick — and a crash landing inside recover() under a nested
+  // pause would leak the chain's whole footprint).  Opportunistic: with
+  // other threads pinned this reclaims only what their progress allows.
   void resume_reclaim() {
-    pause_depth_.fetch_sub(1, std::memory_order_relaxed);
+    if (pause_depth_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      try_advance();
+      reclaim_ready(slots_[ds::thread_slot()]);
+    }
+  }
+
+  // Harness control for the adversarial crash scenarios (per-thread
+  // death, stalled workers): force a slot's announcement quiescent so
+  // an abandoned pin cannot stall epoch advancement forever.  Only safe
+  // when the caller knows the slot's owner is dead or parked outside
+  // any structure operation — the crash drivers call it for a lane
+  // whose worker unwound via CrashUnwind before a fresh thread adopts
+  // the slot.
+  void reset_slot_pin(int slot) {
+    if (slot < 0 || slot >= ds::kMaxThreads) return;
+    slots_[slot].announce.store(kQuiescent, std::memory_order_seq_cst);
   }
 
   // One amortised advancement step: move the global epoch forward iff

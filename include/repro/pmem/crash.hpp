@@ -23,6 +23,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdint>
+#include <thread>
 
 namespace repro::pmem::crash {
 
@@ -53,6 +54,33 @@ inline std::atomic<std::uint64_t>& seen_cell() {
 inline std::atomic<std::uint64_t>& kill_remaining_cell() {
   static std::atomic<std::uint64_t> k{0};
   return k;
+}
+// Thread-latch mode (per-thread-death scenario): the armed countdown
+// kills only the thread that hits it instead of latching the whole
+// machine off.
+inline std::atomic<bool>& thread_latch_cell() {
+  static std::atomic<bool> m{false};
+  return m;
+}
+// Set on the thread that fired in latch mode; fresh worker threads
+// start alive, and the flag dies with the thread.
+inline bool& tl_dead() {
+  thread_local bool dead = false;
+  return dead;
+}
+// Stall gate (stalled-thread scenario): the n-th instruction's thread
+// parks on the gate *before* executing, until release_stall().
+inline std::atomic<std::uint64_t>& stall_remaining_cell() {
+  static std::atomic<std::uint64_t> s{0};
+  return s;
+}
+inline std::atomic<bool>& stall_gate_cell() {
+  static std::atomic<bool> g{false};
+  return g;
+}
+inline std::atomic<bool>& stall_hit_cell() {
+  static std::atomic<bool> h{false};
+  return h;
 }
 }  // namespace detail
 
@@ -86,19 +114,61 @@ inline void arm(std::uint64_t n) {
   detail::armed_cell().store(n > 0, std::memory_order_relaxed);
 }
 
-// Power restored: clears the countdown and the crashed latch.  The
-// fuzz drivers call this once every worker has unwound; verification
-// and teardown then run persistence instructions normally.
+// Power restored: clears the countdown, the crashed latch, and
+// thread-latch mode.  The fuzz drivers call this once every worker has
+// unwound; verification and teardown then run persistence instructions
+// normally.  A worker's own thread-death flag is thread-local and dies
+// with the worker — disarm() cannot (and need not) clear it.
 inline void disarm() {
   detail::armed_cell().store(false, std::memory_order_relaxed);
   detail::crashed_cell().store(false, std::memory_order_relaxed);
+  detail::thread_latch_cell().store(false, std::memory_order_relaxed);
 }
+
+// Per-thread-death scenario: while on, the armed countdown fires as a
+// single-thread failure — only the thread that hits the n-th
+// instruction unwinds (its thread-local dead flag set); the machine
+// stays on and survivors keep executing.
+inline void set_thread_latch(bool on) {
+  detail::thread_latch_cell().store(on, std::memory_order_relaxed);
+}
+
+// Did the calling thread die to a latch-mode firing?
+inline bool thread_dead() { return detail::tl_dead(); }
 
 // Cheap post-crash guard for paths that are not persistence
 // instructions but must not run on a powered-off machine (shadow-mode
-// tracked stores): throws iff the crash already fired.
+// tracked stores) or on a dead thread: throws iff the crash already
+// fired or this thread was killed in latch mode.
 inline void check() {
+  if (detail::tl_dead()) throw CrashUnwind{events()};
   if (crashed()) throw CrashUnwind{events()};
+}
+
+// Stalled-thread adversary: the thread issuing the n-th persistence
+// instruction from now publishes stall_hit() and parks *before* the
+// instruction's effect, spinning on a gate until release_stall().
+// After release it falls through and executes the instruction
+// normally — the driver disarms the crash plan first, so the resumed
+// thread does not unwind spuriously.
+inline void arm_stall(std::uint64_t n) {
+  detail::stall_hit_cell().store(false, std::memory_order_relaxed);
+  detail::stall_gate_cell().store(n > 0, std::memory_order_relaxed);
+  detail::stall_remaining_cell().store(n, std::memory_order_relaxed);
+}
+
+inline bool stall_hit() {
+  return detail::stall_hit_cell().load(std::memory_order_acquire);
+}
+
+inline void release_stall() {
+  detail::stall_gate_cell().store(false, std::memory_order_release);
+}
+
+inline void disarm_stall() {
+  detail::stall_remaining_cell().store(0, std::memory_order_relaxed);
+  detail::stall_gate_cell().store(false, std::memory_order_relaxed);
+  detail::stall_hit_cell().store(false, std::memory_order_relaxed);
 }
 
 // True process-kill injection for the fork-kill harness
@@ -124,6 +194,19 @@ inline void on_instruction() {
       kill.fetch_sub(1, std::memory_order_relaxed) == 1) {
     std::raise(SIGKILL);  // uncatchable; does not return
   }
+  // Stall countdown: park before this instruction's effect.  While
+  // parked the thread consumes no further instructions, so an armed
+  // crash countdown keeps draining on the surviving threads; on
+  // release it falls through to the normal checks below (the driver
+  // disarms the crash first, so they pass).
+  auto& stall = detail::stall_remaining_cell();
+  if (stall.load(std::memory_order_relaxed) > 0 &&
+      stall.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    detail::stall_hit_cell().store(true, std::memory_order_release);
+    while (detail::stall_gate_cell().load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
   check();
   if (!armed()) {
     // Close the latch race: another thread may have fired the crash
@@ -139,6 +222,17 @@ inline void on_instruction() {
   const std::uint64_t left =
       detail::remaining_cell().fetch_sub(1, std::memory_order_relaxed);
   if (left <= 1) {
+    if (detail::thread_latch_cell().load(std::memory_order_relaxed)) {
+      // Per-thread death: exactly one thread dies.  A racer that
+      // decremented past zero (left == 0) lost to the dying thread
+      // and executes normally — the machine stays on.
+      if (left == 1) {
+        detail::tl_dead() = true;
+        detail::armed_cell().store(false, std::memory_order_release);
+        throw CrashUnwind{events()};
+      }
+      return;
+    }
     detail::crashed_cell().store(true, std::memory_order_release);
     detail::armed_cell().store(false, std::memory_order_release);
     throw CrashUnwind{events()};

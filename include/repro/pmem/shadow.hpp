@@ -245,11 +245,21 @@ inline void on_fence() {
 // returning true to keep the line; strict fidelity drops them all.
 // The volatile values being overwritten are saved for uncrash().
 // Single-threaded: call with no concurrent mutators.
+//
+// `keep_undo` supports the chained-crash scenario (crash, recover on
+// the durable image, crash again mid-recovery): the machine stays
+// crashed between links — uncrash() bypasses dirty-flag bookkeeping,
+// so rewinding a restored machine a second time would be a no-op for
+// the words it revived — and each link appends its rewinds to the
+// previous link's undo log instead of replacing it.  One final
+// uncrash() replays the whole log in push order, so the latest saved
+// volatile value of a word rewound by several links wins.
 template <typename Coin>
-CrashStats crash(CrashFidelity fidelity, Coin&& coin) {
+CrashStats crash(CrashFidelity fidelity, Coin&& coin,
+                 bool keep_undo = false) {
   detail::Engine& e = detail::Engine::instance();
   CrashStats stats;
-  e.undo.clear();
+  if (!keep_undo) e.undo.clear();
   for (detail::Shard& sh : e.shards) {
     std::lock_guard<std::mutex> lock(sh.mu);
     for (auto& [line, rec] : sh.lines) {

@@ -100,6 +100,59 @@ TEST(ConcurrentFuzz, NonCrashingPointStillChecksLinearizability) {
   EXPECT_GT(rep.total_ops, 0u);
 }
 
+// Per-thread death: the armed instruction kills only the hitting
+// worker; survivors run to completion, a fresh thread adopts the dead
+// lane's slot and recovers it, and the merged history (dead lane's
+// pending op upgraded per the adoption verdict) must linearize.
+TEST(ConcurrentFuzz, AllDetectableFamiliesSurviveThreadDeath) {
+  for (const char* name :
+       {"Isb", "Isb-Opt", "DT", "DT-Opt", "Isb-Queue", "Bst-Isb",
+        "DT-Treiber", "Isb-Exchanger"}) {
+    ConcurrentCrashPlan plan = quick_plan(150);
+    plan.scenario = harness::ScenarioKind::thread_death;
+    const ConcurrentFuzzReport rep =
+        harness::concurrent_fuzz_structure(algo(name), plan);
+    EXPECT_EQ(rep.violations, 0)
+        << name << ": "
+        << (rep.failures.empty() ? "?" : rep.failures.front().what);
+    EXPECT_EQ(rep.points, 150) << name;
+    EXPECT_GT(rep.crashes, 0) << name;  // deaths count as crashes
+  }
+}
+
+// Stalled-thread adversary: one worker parks at a persistence boundary
+// across a full crash+recovery, resumes afterwards, and both the
+// durable cut and the post-resume completion must stay consistent.
+TEST(ConcurrentFuzz, AllDetectableFamiliesSurviveStalledThread) {
+  for (const char* name :
+       {"Isb", "Isb-Opt", "DT", "DT-Opt", "Isb-Queue", "Bst-Isb",
+        "DT-Treiber", "Isb-Exchanger"}) {
+    ConcurrentCrashPlan plan = quick_plan(150);
+    plan.scenario = harness::ScenarioKind::stalled_thread;
+    const ConcurrentFuzzReport rep =
+        harness::concurrent_fuzz_structure(algo(name), plan);
+    EXPECT_EQ(rep.violations, 0)
+        << name << ": "
+        << (rep.failures.empty() ? "?" : rep.failures.front().what);
+    EXPECT_EQ(rep.points, 150) << name;
+  }
+}
+
+// The adversarial scenarios floor the worker count at 2 (a
+// single-thread plan cannot stage a survivor or a stalled bystander).
+TEST(ConcurrentFuzz, AdversarialScenariosFloorThreadsAtTwo) {
+  ConcurrentCrashPlan plan = quick_plan(30);
+  plan.threads = 1;
+  for (const auto scenario : {harness::ScenarioKind::thread_death,
+                              harness::ScenarioKind::stalled_thread}) {
+    plan.scenario = scenario;
+    const ConcurrentFuzzReport rep =
+        harness::concurrent_fuzz_structure(algo("Isb"), plan);
+    EXPECT_EQ(rep.violations, 0)
+        << (rep.failures.empty() ? "?" : rep.failures.front().what);
+  }
+}
+
 // Checker verdicts are deterministic given the recorded history: the
 // dumped failing history of a (deliberately corrupted) run re-checks
 // to the identical verdict and state count, twice.

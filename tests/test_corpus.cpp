@@ -8,6 +8,12 @@
 //                              pre-publish) plus the read-only-opt
 //                              interaction; each must replay with zero
 //                              violations and a deterministic report.
+//                              An entry may extend the triple with a
+//                              "crash_chain":[...] array (the
+//                              repeated-crash reproducer format): the
+//                              points replay verbatim as chained
+//                              crashes inside recovery via
+//                              CrashPlan::replay_chain.
 //   history_tail_tear.jsonl  — the real failing history the concurrent
 //                              fuzzer dumped for the Isb-Queue
 //                              tail-swing tear (an in-flight enqueue's
@@ -24,6 +30,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -65,6 +72,26 @@ bool meta_u64(const std::string& line, const char* key,
   return harness::history_detail::field_u64(line.c_str(), key, out);
 }
 
+// Optional repeated-crash extension: "crash_chain":[p1,p2,...].
+// Returns false (out untouched) for old-format triples.
+bool meta_chain(const std::string& line,
+                std::vector<std::uint64_t>& out) {
+  static const std::string kKey = "\"crash_chain\":[";
+  const std::size_t c0 = line.find(kKey);
+  if (c0 == std::string::npos) return false;
+  std::size_t p = c0 + kKey.size();
+  while (p < line.size() && line[p] != ']') {
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(line.c_str() + p, &end, 10);
+    if (end == line.c_str() + p) break;
+    out.push_back(v);
+    p = static_cast<std::size_t>(end - line.c_str());
+    if (p < line.size() && line[p] == ',') ++p;
+  }
+  return !out.empty();
+}
+
 TEST(Corpus, RegressionTriplesReplayCleanAndDeterministic) {
   const std::string text = read_file(corpus_path("regressions.jsonl"));
   ASSERT_FALSE(text.empty());
@@ -88,6 +115,12 @@ TEST(Corpus, RegressionTriplesReplayCleanAndDeterministic) {
     ASSERT_NE(algo, nullptr) << structure;
     CrashPlan plan;
     plan.seed = 1;  // irrelevant for an explicit {seed, crash_point}
+    std::vector<std::uint64_t> chain;
+    if (meta_chain(line, chain)) {
+      plan.scenario = harness::ScenarioKind::repeated_crash;
+      plan.replay_chain = chain;
+      plan.chain_depth = static_cast<int>(chain.size());
+    }
     FuzzReport a, b;
     harness::fuzz_one(*algo, plan, seed, crash_point, 0, a);
     harness::fuzz_one(*algo, plan, seed, crash_point, 0, b);
@@ -95,13 +128,20 @@ TEST(Corpus, RegressionTriplesReplayCleanAndDeterministic) {
         << structure << " seed=" << seed << " cp=" << crash_point
         << ": " << (a.failures.empty() ? "?" : a.failures.front().what);
     EXPECT_EQ(a.crashes, 1) << structure << ": crash point must fire";
+    if (!chain.empty()) {
+      // The explicit chain replays verbatim: every listed point fires
+      // inside a recovery pass.
+      EXPECT_EQ(a.chain_crashes, static_cast<int>(chain.size()))
+          << structure;
+      EXPECT_EQ(a.chain_crashes, b.chain_crashes) << structure;
+    }
     // Bit-for-bit: the same triple produces the identical report.
     EXPECT_EQ(a.crashes, b.crashes) << structure;
     EXPECT_EQ(a.violations, b.violations) << structure;
     EXPECT_EQ(a.total_ops, b.total_ops) << structure;
     ++entries;
   }
-  EXPECT_GE(entries, 3) << "corpus lost entries";
+  EXPECT_GE(entries, 4) << "corpus lost entries";
 }
 
 TEST(Corpus, TailTearHistoryStillRejected) {

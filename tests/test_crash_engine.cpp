@@ -272,6 +272,123 @@ TEST(CrashFuzz, DescriptorLevelStructuresSurviveFuzzing) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Repeated-crash scenario (crash-during-recovery adversary)
+// ---------------------------------------------------------------------
+
+TEST_F(ShadowNvm, ChainedCrashKeepsTheUndoLogAcrossLinks) {
+  // The chained-crash protocol: stay crashed between links, accumulate
+  // rewinds with keep_undo, and one final uncrash() restores the whole
+  // pre-crash volatile view.
+  persist<std::uint64_t> w{1};
+  w.store(2);
+  shadow::crash_strict();
+  ASSERT_EQ(w.load(), 1u);
+  // Second crash while still down: the volatile view has not changed,
+  // but the accumulated undo must survive the second rewind.
+  w.store(3);  // a recovery-path consolidation write, not yet fenced
+  shadow::crash(shadow::CrashFidelity::strict, [] { return false; },
+                /*keep_undo=*/true);
+  ASSERT_EQ(w.load(), 1u);
+  shadow::uncrash();
+  // The latest volatile value a rewound word held wins the replay.
+  EXPECT_EQ(w.load(), 3u);
+}
+
+CrashPlan chain_plan(int points) {
+  CrashPlan p = quick_plan(points);
+  p.scenario = harness::ScenarioKind::repeated_crash;
+  return p;
+}
+
+TEST(ChainFuzz, RepeatedCrashReplayIsDeterministic) {
+  const AlgoEntry& dt = algo("DT");
+  const CrashPlan plan = chain_plan(0);
+  FuzzReport a, b;
+  harness::fuzz_one(dt, plan, 0xABCDEFull, 37, 0, a);
+  harness::fuzz_one(dt, plan, 0xABCDEFull, 37, 0, b);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.chain_crashes, b.chain_crashes);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.violations, 0);
+  EXPECT_EQ(a.crashes, 1);  // the first crash; chain links count apart
+  EXPECT_GT(a.chain_crashes, 0);
+}
+
+TEST(ChainFuzz, ReplayChainOverridesTheDerivedPoints) {
+  // A reproducer's crash_chain replays the exact chain the original
+  // iteration derived — passing those points explicitly must land the
+  // same verdict and the same number of chained crashes.
+  const AlgoEntry& dt = algo("DT");
+  CrashPlan derived = chain_plan(0);
+  const std::uint64_t seed = 0xFEEDF00Dull;
+  FuzzReport a;
+  harness::fuzz_one(dt, derived, seed, 41, 0, a);
+  ASSERT_EQ(a.violations, 0);
+  CrashPlan explicit_plan = derived;
+  const std::uint64_t link = harness::mix_seed(seed, 41);
+  for (int d = 0; d < explicit_plan.chain_depth; ++d) {
+    explicit_plan.replay_chain.push_back(
+        1 + harness::mix_seed(link, static_cast<std::uint64_t>(d)) %
+                harness::fuzz_detail::RecoverySeal::kSealWindow);
+  }
+  FuzzReport b;
+  harness::fuzz_one(dt, explicit_plan, seed, 41, 0, b);
+  EXPECT_EQ(a.chain_crashes, b.chain_crashes);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+}
+
+TEST(ChainFuzz, AllDetectableFamiliesSurviveChainedCrashes) {
+  for (const char* name : {"Isb", "Isb-Opt", "DT", "DT-Opt",
+                           "Isb-Queue", "DT-Treiber"}) {
+    const FuzzReport rep =
+        harness::fuzz_structure(algo(name), chain_plan(200));
+    EXPECT_EQ(rep.violations, 0)
+        << name << ": " << (rep.failures.empty()
+                                ? "?"
+                                : rep.failures.front().what);
+    EXPECT_GT(rep.chain_crashes, 0) << name;
+  }
+}
+
+#ifdef REPRO_MUTATE_DROP_RECOVERY_FENCE
+
+// Mutated build: the recovery seal's ordering fence between its seq
+// and valid stores is elided, so a chained crash landing inside the
+// recovery pass can persist valid while dropping seq.  The
+// repeated-crash scenario must notice well within 2000 points.
+TEST(ChainFuzz, DroppedRecoveryFenceIsDetectedWithin2000Points) {
+  const AlgoEntry& dt = algo("DT");
+  CrashPlan plan = chain_plan(2000);
+  FuzzReport rep;
+  int used = 0;
+  const std::uint64_t base = plan.effective_seed();
+  for (; used < plan.points && rep.violations == 0; ++used) {
+    harness::fuzz_one(dt, plan,
+                      harness::mix_seed(base,
+                                        static_cast<std::uint64_t>(used)),
+                      0, used, rep);
+  }
+  EXPECT_GT(rep.violations, 0)
+      << "mutation not detected in " << used << " crash points";
+}
+
+#else
+
+// Unmutated build: the chained sweep must stay clean at the nightly
+// budget (the other direction of the mutation self-test).
+TEST(ChainFuzz, UnmutatedDtListSurvives5000ChainedPoints) {
+  const FuzzReport rep =
+      harness::fuzz_structure(algo("DT"), chain_plan(5000));
+  EXPECT_EQ(rep.violations, 0)
+      << (rep.failures.empty() ? "?" : rep.failures.front().what);
+  EXPECT_GT(rep.chain_crashes, 2500);
+}
+
+#endif  // REPRO_MUTATE_DROP_RECOVERY_FENCE
+
 #ifdef REPRO_MUTATE_DROP_PFENCE
 
 // Mutated build: DtList is missing its post-update ordering fence, so

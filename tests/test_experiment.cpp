@@ -254,9 +254,19 @@ TEST(Sinks, CsvGolden) {
       "point_index,figure,algo,mode,dist,key_range,mix,threads,seconds,"
       "total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,psync_per_op,"
       "coalesced_pwb_per_op,allocs_per_op,retired_per_op,reuse_ratio,"
-      "recovery_us,seed,crash_points,crash_violations\n"
+      "recovery_us,seed,crash_points,crash_violations,crash_scenario\n"
       "7,figX,Algo,count_only,uniform,500,read-intensive,2,0.5,1000,2000,"
-      "2.25,1.5,1,0.25,0.75,0.5,0.95,,42,,\n");
+      "2.25,1.5,1,0.25,0.75,0.5,0.95,,42,,,\n");
+}
+
+TEST(Sinks, CsvEmitsCrashScenarioColumn) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  ResultRow row = golden_row();
+  row.crash_scenario = "repeated-crash";
+  sink.row(row);
+  const std::string got = os.str();
+  EXPECT_NE(got.find(",,repeated-crash\n"), std::string::npos) << got;
 }
 
 TEST(Sinks, JsonlGolden) {
@@ -281,6 +291,17 @@ TEST(Sinks, JsonlIncludesRecoveryLatencyWhenSet) {
   row.recovery_us = 12.5;
   sink.row(row);
   EXPECT_NE(os.str().find("\"recovery_us\":12.5}"), std::string::npos);
+}
+
+TEST(Sinks, JsonlIncludesCrashScenarioWhenSet) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  ResultRow row = golden_row();
+  row.crash_scenario = "thread-death";
+  sink.row(row);
+  EXPECT_NE(os.str().find("\"crash_scenario\":\"thread-death\"}"),
+            std::string::npos)
+      << os.str();
 }
 
 TEST(Sinks, RunSpecStreamsOneRowPerPoint) {

@@ -131,6 +131,66 @@ TEST(KillRecovery, RandomizedKillBatchFindsNoViolationsPerFamily) {
   }
 }
 
+// Double-kill: the first verifier pass is itself SIGKILLed at a
+// seed-derived point inside its recovery seal, and a third fresh
+// process delivers the verdict.  The seal bracket spans every code
+// path of the pass, so the second kill must land on every trial; the
+// verdict must still be zero violations — crash-during-recovery
+// leaves a state a later recovery handles.
+TEST(KillRecovery, DoubleKillLandsInVerifierAndThirdProcessIsClean) {
+  const std::string path = test_heap_path("dbl");
+  SKIP_IF_NO_HARNESS(path);
+  kill::KillPlan plan;
+  plan.heap_path = path;
+  plan.family = kill::Family::isb_list;
+  plan.seed = 0xD0B1Eull;
+  plan.threads = 1;
+  plan.ops_budget = 128;
+  plan.kill_point = 90;
+  plan.double_kill = true;
+
+  const kill::TrialResult a = kill::kill_one(plan);
+  ASSERT_TRUE(a.infra_ok);
+  EXPECT_TRUE(a.killed) << "kill point 90 should land mid-workload";
+  EXPECT_TRUE(a.verifier_killed)
+      << "the seal bracket spans the whole verify pass; the armed "
+         "second SIGKILL must land";
+  EXPECT_EQ(a.violations, 0) << a.what;
+
+  // Deterministic: the same {seed, kill_point} replays the same
+  // double-kill outcome.
+  const kill::TrialResult b = kill::kill_one(plan);
+  ASSERT_TRUE(b.infra_ok);
+  EXPECT_EQ(b.verifier_killed, a.verifier_killed);
+  EXPECT_EQ(b.violations, 0) << b.what;
+  kill::cleanup_heap_files(plan);
+}
+
+TEST(KillRecovery, DoubleKillBatchFindsNoViolationsPerFamily) {
+  const std::string path = test_heap_path("dblbatch");
+  SKIP_IF_NO_HARNESS(path);
+  for (kill::Family f : kill::all_families()) {
+    kill::KillPlan plan;
+    plan.heap_path = path;
+    plan.family = f;
+    plan.seed = 0xD0B7C4ull;
+    plan.threads = 2;
+    plan.ops_budget = 128;
+    plan.double_kill = true;
+    const kill::KillReport rep = kill::kill_many(plan, 10);
+    EXPECT_EQ(rep.violations, 0)
+        << kill::family_name(f) << ": "
+        << (rep.failures.empty() ? "" : rep.failures.front().what);
+    EXPECT_LT(rep.infra_skips, rep.trials) << kill::family_name(f);
+    // Every non-skipped, non-vacuous trial must kill its verifier —
+    // the double-kill scenario is vacuous otherwise.
+    EXPECT_EQ(rep.verifier_kills,
+              rep.trials - rep.infra_skips - rep.vacuous)
+        << kill::family_name(f);
+    kill::cleanup_heap_files(plan);
+  }
+}
+
 TEST(KillRecovery, UnmutatedBuildSurvivesDeterministicSweep) {
   const std::string path = test_heap_path("sweep");
   SKIP_IF_NO_HARNESS(path);

@@ -313,6 +313,125 @@ TEST(LinearizeDurable, DurableValueNobodyEnqueuedRejected) {
 }
 
 // ---------------------------------------------------------------------
+// Adversarial crash scenarios: stalled threads, dead-lane adoption,
+// crash-during-recovery cuts (the shapes the scenario fuzzers feed the
+// checker, pinned here as goldens)
+// ---------------------------------------------------------------------
+
+// Stalled-thread resume: a worker parked across the crash finally
+// responds; resolve_pending turns its pending op into a completed one
+// with the late response, and the verdict must follow the response.
+TEST(LinearizeScenario, StalledThreadResumeResolvesToCompleted) {
+  std::vector<Op> ops = {
+      op(1, OpKind::insert, 9, 2, 3, true, 1),
+      op(0, OpKind::insert, 5, 1, kNever, false, 0, Pending::may),
+  };
+  ASSERT_TRUE(harness::lin::resolve_pending(ops, 0, /*response_ts=*/10,
+                                            /*ok=*/true, /*result=*/1));
+  EXPECT_EQ(ops[1].pending, Pending::completed);
+  EXPECT_EQ(ops[1].response_ts, 10u);
+  EXPECT_EQ(check(ops, spec_of(Semantics::set)).verdict,
+            Verdict::linearizable);
+  // A lane with nothing pending resolves nothing.
+  EXPECT_FALSE(harness::lin::resolve_pending(ops, 1, 11, true, 1));
+}
+
+// A stalled worker resuming with a STALE response: it claims
+// insert(5)=true, but another lane's successful insert(5) completed
+// before the stalled op was even invoked — no linearization explains
+// two winning inserts of one key.
+TEST(LinearizeScenario, StalledThreadStaleResponseRejected) {
+  std::vector<Op> ops = {
+      op(1, OpKind::insert, 5, 1, 2, true, 1),
+      op(0, OpKind::insert, 5, 3, kNever, false, 0, Pending::may),
+  };
+  ASSERT_TRUE(harness::lin::resolve_pending(ops, 0, 10, true, 1));
+  EXPECT_EQ(check(ops, spec_of(Semantics::set)).verdict,
+            Verdict::violation);
+  // The consistent late response (false: 5 was already there) passes.
+  std::vector<Op> ok_ops = {
+      op(1, OpKind::insert, 5, 1, 2, true, 1),
+      op(0, OpKind::insert, 5, 3, kNever, false, 0, Pending::may),
+  };
+  ASSERT_TRUE(harness::lin::resolve_pending(ok_ops, 0, 10, false, 0));
+  EXPECT_EQ(check(ok_ops, spec_of(Semantics::set)).verdict,
+            Verdict::linearizable);
+}
+
+// Dead-lane adoption: the adopter's recover() finds the dead lane's
+// enqueue descriptor-committed, upgrading its pending verdict to must
+// — the value must then sit in the durable queue.
+TEST(LinearizeScenario, DeadLaneAdoptionUpgradesPendingToMust) {
+  Spec sp = spec_of(Semantics::queue);
+  sp.check_durable = true;
+  const std::vector<Op> ops = {
+      op(1, OpKind::enqueue, 7, 1, 2, true, 7),
+      op(0, OpKind::enqueue, 101, 3, kNever, true, 101, Pending::must),
+  };
+  sp.durable_values = {7, 101};
+  EXPECT_EQ(check(ops, sp).verdict, Verdict::linearizable);
+  sp.durable_values = {7};  // committed effect durably lost
+  EXPECT_EQ(check(ops, sp).verdict, Verdict::violation);
+}
+
+// Dead-lane adoption, the other verdict: recover() reports the dead
+// lane's op NOT applied (must_not) — any durable trace of it is a
+// violation.
+TEST(LinearizeScenario, DeadLaneMustNotWithDurableTraceRejected) {
+  Spec sp = spec_of(Semantics::queue);
+  sp.check_durable = true;
+  const std::vector<Op> ops = {
+      op(0, OpKind::enqueue, 101, 1, kNever, false, 0,
+         Pending::must_not),
+  };
+  sp.durable_values = {};
+  EXPECT_EQ(check(ops, sp).verdict, Verdict::linearizable);
+  sp.durable_values = {101};
+  EXPECT_EQ(check(ops, sp).verdict, Verdict::violation);
+}
+
+// Crash-during-recovery (repeated crash): however many links the
+// chain had, the final durable image must still be a PREFIX of some
+// linearization.  Holding the second of two sequential enqueues while
+// dropping the first is no prefix — the cut shape a broken
+// consolidation write leaves behind.
+TEST(LinearizeScenario, ChainedCrashCutMustRemainAPrefix) {
+  Spec sp = spec_of(Semantics::queue);
+  sp.check_durable = true;
+  const std::vector<Op> ops = {
+      op(0, OpKind::enqueue, 101, 1, 2, true, 101),
+      op(0, OpKind::enqueue, 102, 3, 4, true, 102),
+  };
+  sp.durable_values = {101};  // cut between the enqueues: legal
+  EXPECT_EQ(check(ops, sp).verdict, Verdict::linearizable);
+  sp.durable_values = {101, 102};  // cut after both: legal
+  EXPECT_EQ(check(ops, sp).verdict, Verdict::linearizable);
+  sp.durable_values = {102};  // second without the first: no prefix
+  EXPECT_EQ(check(ops, sp).verdict, Verdict::violation);
+}
+
+// A stalled worker's late dequeue may return a value enqueued while
+// it was parked (its interval spans the enqueue), but never a value
+// whose enqueue began after the dequeue responded.
+TEST(LinearizeScenario, StalledDequeueRespectsRealTimeOrder) {
+  std::vector<Op> ops = {
+      op(0, OpKind::dequeue, 0, 1, kNever, false, 0, Pending::may),
+      op(1, OpKind::enqueue, 55, 5, 6, true, 55),
+  };
+  ASSERT_TRUE(harness::lin::resolve_pending(ops, 0, 10, true, 55));
+  EXPECT_EQ(check(ops, spec_of(Semantics::queue)).verdict,
+            Verdict::linearizable);
+  std::vector<Op> bad = {
+      op(0, OpKind::dequeue, 0, 1, kNever, false, 0, Pending::may),
+      op(1, OpKind::enqueue, 55, 5, 6, true, 55),
+  };
+  // Resume BEFORE the enqueue was invoked, yet return its value.
+  ASSERT_TRUE(harness::lin::resolve_pending(bad, 0, 3, true, 55));
+  EXPECT_EQ(check(bad, spec_of(Semantics::queue)).verdict,
+            Verdict::violation);
+}
+
+// ---------------------------------------------------------------------
 // Determinism and event plumbing
 // ---------------------------------------------------------------------
 

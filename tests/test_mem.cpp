@@ -159,6 +159,111 @@ TEST(Ebr, ConcurrentRetireReuseStress) {
       slot.load(std::memory_order_acquire));
 }
 
+// The chained-recovery regression: crash-engine iterations wrap every
+// recovery link in a ReclaimPause, and the FINAL resume must drain
+// what the pause parked — before the fix, resume_reclaim() only
+// decremented the nesting depth, so a chain's whole retire footprint
+// sat in limbo until some later iteration's retire tick.
+TEST(Ebr, FinalResumeDrainsRipeLimboParkedDuringPause) {
+  EpochDomain& dom = EpochDomain::instance();
+  dom.quiesce();
+  ASSERT_EQ(dom.limbo_size(), 0u);
+
+  constexpr std::size_t kN = 10;
+  for (std::size_t i = 0; i < kN; ++i) {
+    EbrReclaimer::retire<CanaryNode>(
+        NodePool<CanaryNode>::instance().create(kAlive));
+  }
+  ASSERT_EQ(dom.limbo_size(), kN);
+  // Let the grace period elapse while nothing runs a reclaim sweep:
+  // the nodes are ripe but parked.
+  dom.try_advance();
+  dom.try_advance();
+
+  const Stats before = repro::mem::stats();
+  dom.pause_reclaim();
+  dom.pause_reclaim();   // nested: a crash landing inside recover()
+  dom.resume_reclaim();  // inner resume must NOT drain
+  EXPECT_EQ(dom.limbo_size(), kN);
+  EXPECT_EQ(repro::mem::stats().reclaims, before.reclaims);
+  dom.resume_reclaim();  // final resume drains the parked nodes
+  EXPECT_EQ(dom.limbo_size(), 0u);
+  EXPECT_EQ(repro::mem::stats().reclaims, before.reclaims + kN);
+}
+
+// While paused, a retire tick must neither advance the epoch nor
+// recycle a cell — the crash engine relies on rewound durable links
+// staying bit-intact (never re-initialised by a pool reuse) while the
+// post-crash image is verified, across every link of a crash chain.
+TEST(Ebr, PausedRetireTicksParkNodesWithoutRecycling) {
+  using repro::mem::kAdvanceEvery;
+  EpochDomain& dom = EpochDomain::instance();
+  dom.quiesce();
+  ASSERT_EQ(dom.limbo_size(), 0u);
+  const std::uint64_t e0 = dom.epoch();
+
+  std::vector<CanaryNode*> nodes;
+  {
+    repro::mem::ReclaimPause pause;
+    // Enough retires that the kAdvanceEvery tick fires repeatedly
+    // under the pause.
+    for (int i = 0; i < 2 * kAdvanceEvery; ++i) {
+      CanaryNode* n = NodePool<CanaryNode>::instance().create(kAlive);
+      nodes.push_back(n);
+      EbrReclaimer::retire<CanaryNode>(n);
+    }
+    EXPECT_EQ(dom.limbo_size(), nodes.size());
+    EXPECT_EQ(dom.epoch(), e0) << "epoch advanced under pause";
+    for (CanaryNode* n : nodes) {
+      ASSERT_EQ(n->value.load(std::memory_order_relaxed), kAlive)
+          << "cell recycled while reclamation was paused";
+    }
+  }
+  // Pause scope ended (final resume); the epoch moves again and a
+  // quiesce reclaims everything the pause parked.
+  dom.quiesce();
+  EXPECT_EQ(dom.limbo_size(), 0u);
+}
+
+// Per-thread-death support: the crash driver resets a dead lane's
+// slot before a fresh thread adopts it, so an abandoned pin cannot
+// stall epoch advancement forever.
+TEST(Ebr, ResetSlotPinUnblocksAdvancement) {
+  EpochDomain& dom = EpochDomain::instance();
+  dom.quiesce();
+
+  std::atomic<int> slot{-1};
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread th([&] {
+    EpochDomain::Guard guard;
+    slot.store(repro::ds::thread_slot(), std::memory_order_relaxed);
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+    }
+  });
+  while (!pinned.load(std::memory_order_acquire)) {
+  }
+
+  // The parked slot announces the pre-advance epoch: the first
+  // advance can succeed, the second must stall on it.
+  dom.try_advance();
+  EXPECT_FALSE(dom.try_advance())
+      << "a parked pin should stall the second advance";
+
+  dom.reset_slot_pin(slot.load(std::memory_order_relaxed));
+  EXPECT_TRUE(dom.try_advance())
+      << "reset_slot_pin should unblock advancement";
+
+  // Out-of-range slots are ignored (the adoption path passes whatever
+  // slot index the dead lane recorded).
+  dom.reset_slot_pin(-1);
+  dom.reset_slot_pin(repro::ds::kMaxThreads);
+
+  release.store(true, std::memory_order_release);
+  th.join();
+}
+
 // The leak ablation keeps the seed's semantics: counted, never
 // recycled.
 TEST(Ebr, LeakReclaimerCountsButNeverReclaims) {
