@@ -14,9 +14,17 @@
 //   post_update(primary, secondary)     — a structural CAS succeeded
 //   op_end(ok, result, read_only)       — operation response decided
 //
-// baselines::HarrisList instantiates it with the no-op policy; the ISB,
-// DT and Capsules lists instantiate it with their respective policies
-// (see isb_list.hpp / dt_list.hpp / baselines/capsules_list.hpp).
+// The algorithm itself lives in HarrisOps: static functions over an
+// explicit (head, tail) *segment* — a head sentinel, a tail sentinel,
+// and the chain between them.  HarrisListCore runs them over its single
+// segment; the Harris-Michael hash map (hm_hashtable.hpp) runs them
+// over one segment per bucket, sharing one policy and one tail
+// sentinel, so every persistence transformation transfers to the hash
+// map without a line of new CAS logic.
+//
+// baselines::HarrisList instantiates the core with the no-op policy;
+// the ISB, DT and Capsules lists instantiate it with their respective
+// policies (see isb_list.hpp / dt_list.hpp / baselines/capsules_list.hpp).
 //
 // Memory management (the Reclaimer parameter, default mem::EbrReclaimer):
 // nodes come from the per-thread pool, every operation runs inside an
@@ -54,6 +62,221 @@ struct ListNode {
   pmem::persist<ListNode*> next;
 };
 
+// ---------------------------------------------------------------------
+// The algorithm layer: Harris search/insert/erase/find over one
+// (head, tail) segment.  Each entry point brackets itself with the
+// policy's op_start/op_end and an epoch guard, so a caller owning many
+// segments (the hash map) announces exactly one operation per call —
+// the detectability contract is per *operation*, not per segment.
+// ---------------------------------------------------------------------
+template <typename Policy, typename Reclaimer = mem::EbrReclaimer>
+struct HarrisOps {
+  using Node = ListNode;
+
+  static bool is_marked(Node* p) {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
+  }
+  static Node* mark(Node* p) {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) |
+                                   1u);
+  }
+  static Node* unmark(Node* p) {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) &
+                                   ~std::uintptr_t{1});
+  }
+
+  static bool insert(Node* head, Node* tail, Policy& policy,
+                     std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
+    policy.op_start(OpKind::insert, key, false);
+    Node* node = nullptr;
+    bool ok = false;
+    while (true) {
+      Node* left = nullptr;
+      Node* right = search(head, tail, policy, key, &left);
+      if (right != tail && right->key == key) {
+        ok = false;
+        break;
+      }
+      if (node == nullptr) {
+        node = Reclaimer::template create<Node>(key, nullptr);
+      }
+      node->next.store(right, std::memory_order_relaxed);
+      // Persist the initialised node before any durable link to it can
+      // exist (see the policies' pre_publish contract).
+      policy.pre_publish(node);
+      policy.pre_cas(&left->next);
+      Node* expected = right;
+      if (left->next.cas(expected, node)) {
+        policy.post_update(&left->next, node);
+        ok = true;
+        break;
+      }
+    }
+    if (!ok && node != nullptr) {
+      Reclaimer::template destroy<Node>(node);  // never linked
+    }
+    policy.op_end(ok, ok ? 1 : 0, false);
+    return ok;
+  }
+
+  static bool erase(Node* head, Node* tail, Policy& policy,
+                    std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
+    policy.op_start(OpKind::erase, key, false);
+    bool ok = false;
+    while (true) {
+      Node* left = nullptr;
+      Node* right = search(head, tail, policy, key, &left);
+      if (right == tail || right->key != key) {
+        ok = false;
+        break;
+      }
+      Node* right_next = right->next.load(std::memory_order_acquire);
+      if (!is_marked(right_next)) {
+        policy.pre_cas(&right->next);
+        Node* expected = right_next;
+        // Logical deletion: set the mark bit on right's next pointer.
+        if (right->next.cas(expected, mark(right_next))) {
+          policy.post_update(&right->next, nullptr);
+          // Best-effort physical unlink; search() will finish the job
+          // if this fails.
+          policy.pre_cas(&left->next);
+          Node* expl = right;
+          if (left->next.cas(expl, right_next)) {
+            policy.post_update(&left->next, nullptr);
+            // This CAS (uniquely) unlinked right: it is ours to retire.
+            Reclaimer::template retire<Node>(right);
+          }
+          ok = true;
+          break;
+        }
+      }
+    }
+    policy.op_end(ok, ok ? 1 : 0, false);
+    return ok;
+  }
+
+  static bool find(Node* head, Node* tail, Policy& policy,
+                   std::int64_t key) {
+    [[maybe_unused]] typename Reclaimer::Guard guard;
+    policy.op_start(OpKind::find, key, true);
+    Node* left = nullptr;
+    Node* right = search(head, tail, policy, key, &left);
+    const bool ok = (right != tail && right->key == key);
+    policy.op_end(ok, ok ? 1 : 0, true);
+    return ok;
+  }
+
+  // Harris search: returns the first unmarked node with key >= `key`
+  // and its unmarked predecessor, unlinking (and retiring) any marked
+  // chain in between.
+  static Node* search(Node* head, Node* tail, Policy& policy,
+                      std::int64_t key, Node** left_node) {
+    while (true) {
+      Node* left = head;
+      Node* left_next = head->next.load(std::memory_order_acquire);
+      Node* t = head;
+      Node* t_next = left_next;
+      // Phase 1: advance until the first unmarked node with key >= key,
+      // remembering the last unmarked predecessor.
+      do {
+        if (!is_marked(t_next)) {
+          left = t;
+          left_next = t_next;
+        }
+        t = unmark(t_next);
+        if (t == tail) break;
+        t_next = t->next.load(std::memory_order_acquire);
+        policy.visit(t, is_marked(t_next));
+      } while (is_marked(t_next) || t->key < key);
+      Node* right = t;
+
+      // Phase 2: adjacent — done, unless right got marked meanwhile.
+      if (left_next == right) {
+        if (right != tail &&
+            is_marked(right->next.load(std::memory_order_acquire))) {
+          continue;
+        }
+        *left_node = left;
+        return right;
+      }
+
+      // Phase 3: snip out the marked chain between left and right.
+      policy.pre_cas(&left->next);
+      Node* expected = left_next;
+      if (left->next.cas(expected, right)) {
+        policy.post_update(&left->next, nullptr);
+        // The snip succeeded, so this thread exclusively owns the
+        // marked chain [left_next, right): retire each node once.
+        for (Node* p = unmark(left_next); p != right;) {
+          Node* nx = unmark(p->next.load(std::memory_order_relaxed));
+          Reclaimer::template retire<Node>(p);
+          p = nx;
+        }
+        if (right != tail &&
+            is_marked(right->next.load(std::memory_order_acquire))) {
+          continue;
+        }
+        *left_node = left;
+        return right;
+      }
+    }
+  }
+
+  // Crash-time enumeration of one segment: appends the logical
+  // (unmarked) keys reachable from `head` (exclusive) up to `tail`, in
+  // link order.  After a simulated crash the links physically hold the
+  // durable image, so an ordinary traversal reads durable truth — but
+  // a detectability bug can leave a durable link into memory that was
+  // never durably initialised, so the walk is defensive: each candidate
+  // node must be a pool cell (mem::SlabDirectory) and the walk shares a
+  // caller-owned step budget capping cycles across *all* of a caller's
+  // segments.  Returns false — a verification failure, not UB — on any
+  // anomaly.  Single-threaded: call with no concurrent mutators.
+  static bool durable_segment(Node* head, Node* tail,
+                              std::vector<std::int64_t>& out,
+                              std::size_t& steps,
+                              std::size_t max_steps) {
+    Node* c = unmark(head->next.load());
+    while (c != tail) {
+      if (++steps > max_steps) return false;  // cycle / runaway chain
+      if (!mem::SlabDirectory::instance().owns(c)) return false;
+      Node* nx = c->next.load();
+      if (!is_marked(nx)) out.push_back(c->key);
+      c = unmark(nx);
+    }
+    return true;
+  }
+
+  // Unmarked-node count of one segment; only meaningful while no other
+  // thread mutates.
+  static std::size_t size_segment(Node* head, Node* tail) {
+    std::size_t n = 0;
+    for (Node* c = unmark(head->next.load()); c != tail;
+         c = unmark(c->next.load())) {
+      if (!is_marked(c->next.load())) ++n;
+    }
+    return n;
+  }
+
+  // Teardown: destroys every node linked from `head` (inclusive) until
+  // `stop` (exclusive; pass nullptr to run off the end of the chain) —
+  // including marked (logically-deleted but not yet physically
+  // unlinked) nodes, which the unmark() walk reaches like any other
+  // cell.  Unlinked nodes are not the destructor's to free: their
+  // unlinker retired them and the epoch reclaimer returns them to the
+  // pool independently of the structure's lifetime.
+  static void destroy_segment(Node* head, Node* stop) {
+    Node* n = head;
+    while (n != stop) {
+      Node* nx = unmark(n->next.load(std::memory_order_relaxed));
+      Reclaimer::template destroy<Node>(n);
+      n = nx;
+    }
+  }
+};
+
 template <typename Policy, typename Reclaimer = mem::EbrReclaimer>
 class HarrisListCore {
  public:
@@ -69,210 +292,44 @@ class HarrisListCore {
     head_->next.store(tail_, std::memory_order_relaxed);
   }
 
-  // Teardown frees every node still linked — including marked
-  // (logically-deleted but not yet physically unlinked) nodes, which
-  // the unmark() walk reaches like any other cell.  Unlinked nodes are
-  // not the destructor's to free: their unlinker retired them and the
-  // epoch reclaimer returns them to the pool independently of this
-  // structure's lifetime.
-  ~HarrisListCore() {
-    Node* n = head_;
-    while (n != nullptr) {
-      Node* nx = unmark(n->next.load(std::memory_order_relaxed));
-      Reclaimer::template destroy<Node>(n);
-      n = nx;
-    }
-  }
+  ~HarrisListCore() { Ops::destroy_segment(head_, nullptr); }
 
   HarrisListCore(const HarrisListCore&) = delete;
   HarrisListCore& operator=(const HarrisListCore&) = delete;
 
   bool insert(std::int64_t key) {
-    [[maybe_unused]] typename Reclaimer::Guard guard;
-    policy_.op_start(OpKind::insert, key, false);
-    Node* node = nullptr;
-    bool ok = false;
-    while (true) {
-      Node* left = nullptr;
-      Node* right = search(key, &left);
-      if (right != tail_ && right->key == key) {
-        ok = false;
-        break;
-      }
-      if (node == nullptr) {
-        node = Reclaimer::template create<Node>(key, nullptr);
-      }
-      node->next.store(right, std::memory_order_relaxed);
-      // Persist the initialised node before any durable link to it can
-      // exist (see the policies' pre_publish contract).
-      policy_.pre_publish(node);
-      policy_.pre_cas(&left->next);
-      Node* expected = right;
-      if (left->next.cas(expected, node)) {
-        policy_.post_update(&left->next, node);
-        ok = true;
-        break;
-      }
-    }
-    if (!ok && node != nullptr) {
-      Reclaimer::template destroy<Node>(node);  // never linked
-    }
-    policy_.op_end(ok, ok ? 1 : 0, false);
-    return ok;
+    return Ops::insert(head_, tail_, policy_, key);
   }
 
   bool erase(std::int64_t key) {
-    [[maybe_unused]] typename Reclaimer::Guard guard;
-    policy_.op_start(OpKind::erase, key, false);
-    bool ok = false;
-    while (true) {
-      Node* left = nullptr;
-      Node* right = search(key, &left);
-      if (right == tail_ || right->key != key) {
-        ok = false;
-        break;
-      }
-      Node* right_next = right->next.load(std::memory_order_acquire);
-      if (!is_marked(right_next)) {
-        policy_.pre_cas(&right->next);
-        Node* expected = right_next;
-        // Logical deletion: set the mark bit on right's next pointer.
-        if (right->next.cas(expected, mark(right_next))) {
-          policy_.post_update(&right->next, nullptr);
-          // Best-effort physical unlink; search() will finish the job
-          // if this fails.
-          policy_.pre_cas(&left->next);
-          Node* expl = right;
-          if (left->next.cas(expl, right_next)) {
-            policy_.post_update(&left->next, nullptr);
-            // This CAS (uniquely) unlinked right: it is ours to retire.
-            Reclaimer::template retire<Node>(right);
-          }
-          ok = true;
-          break;
-        }
-      }
-    }
-    policy_.op_end(ok, ok ? 1 : 0, false);
-    return ok;
+    return Ops::erase(head_, tail_, policy_, key);
   }
 
   bool find(std::int64_t key) {
-    [[maybe_unused]] typename Reclaimer::Guard guard;
-    policy_.op_start(OpKind::find, key, true);
-    Node* left = nullptr;
-    Node* right = search(key, &left);
-    const bool ok = (right != tail_ && right->key == key);
-    policy_.op_end(ok, ok ? 1 : 0, true);
-    return ok;
+    return Ops::find(head_, tail_, policy_, key);
   }
 
   // Crash-time enumeration for the crash engine: collects the logical
-  // (unmarked) keys reachable from head_, in order.  After a simulated
-  // crash the links physically hold the durable image, so an ordinary
-  // traversal reads durable truth — but a detectability bug can leave
-  // a durable link into memory that was never durably initialised, so
-  // the walk is defensive: each candidate node must be a pool cell
-  // (mem::SlabDirectory) and the walk is step-capped against cycles.
-  // Returns false — a verification failure, not UB — on any anomaly.
-  // Single-threaded: call with no concurrent mutators.
+  // (unmarked) keys reachable from head_, in order; see
+  // HarrisOps::durable_segment for the defensive-walk contract.
   bool durable_keys(std::vector<std::int64_t>& out,
                     std::size_t max_steps = 1u << 20) const {
     out.clear();
-    Node* c = unmark(head_->next.load());
     std::size_t steps = 0;
-    while (c != tail_) {
-      if (++steps > max_steps) return false;  // cycle / runaway chain
-      if (!mem::SlabDirectory::instance().owns(c)) return false;
-      Node* nx = c->next.load();
-      if (!is_marked(nx)) out.push_back(c->key);
-      c = unmark(nx);
-    }
-    return true;
+    return Ops::durable_segment(head_, tail_, out, steps, max_steps);
   }
 
   // Unmarked-node count; only meaningful while no other thread mutates.
   std::size_t size_slow() const {
     [[maybe_unused]] typename Reclaimer::Guard guard;
-    std::size_t n = 0;
-    for (Node* c = unmark(head_->next.load()); c != tail_;
-         c = unmark(c->next.load())) {
-      if (!is_marked(c->next.load())) ++n;
-    }
-    return n;
+    return Ops::size_segment(head_, tail_);
   }
 
   Policy& policy() { return policy_; }
 
  private:
   using Node = ListNode;
-
-  static bool is_marked(Node* p) {
-    return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
-  }
-  static Node* mark(Node* p) {
-    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) |
-                                   1u);
-  }
-  static Node* unmark(Node* p) {
-    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) &
-                                   ~std::uintptr_t{1});
-  }
-
-  // Harris search: returns the first unmarked node with key >= `key`
-  // and its unmarked predecessor, unlinking (and retiring) any marked
-  // chain in between.
-  Node* search(std::int64_t key, Node** left_node) {
-    while (true) {
-      Node* left = head_;
-      Node* left_next = head_->next.load(std::memory_order_acquire);
-      Node* t = head_;
-      Node* t_next = left_next;
-      // Phase 1: advance until the first unmarked node with key >= key,
-      // remembering the last unmarked predecessor.
-      do {
-        if (!is_marked(t_next)) {
-          left = t;
-          left_next = t_next;
-        }
-        t = unmark(t_next);
-        if (t == tail_) break;
-        t_next = t->next.load(std::memory_order_acquire);
-        policy_.visit(t, is_marked(t_next));
-      } while (is_marked(t_next) || t->key < key);
-      Node* right = t;
-
-      // Phase 2: adjacent — done, unless right got marked meanwhile.
-      if (left_next == right) {
-        if (right != tail_ &&
-            is_marked(right->next.load(std::memory_order_acquire))) {
-          continue;
-        }
-        *left_node = left;
-        return right;
-      }
-
-      // Phase 3: snip out the marked chain between left and right.
-      policy_.pre_cas(&left->next);
-      Node* expected = left_next;
-      if (left->next.cas(expected, right)) {
-        policy_.post_update(&left->next, nullptr);
-        // The snip succeeded, so this thread exclusively owns the
-        // marked chain [left_next, right): retire each node once.
-        for (Node* p = unmark(left_next); p != right;) {
-          Node* nx = unmark(p->next.load(std::memory_order_relaxed));
-          Reclaimer::template retire<Node>(p);
-          p = nx;
-        }
-        if (right != tail_ &&
-            is_marked(right->next.load(std::memory_order_acquire))) {
-          continue;
-        }
-        *left_node = left;
-        return right;
-      }
-    }
-  }
+  using Ops = HarrisOps<Policy, Reclaimer>;
 
   Node* head_;
   Node* tail_;

@@ -64,6 +64,7 @@
 #include <unistd.h>
 
 #include "repro/ds/dt_list.hpp"
+#include "repro/ds/hm_hashtable.hpp"
 #include "repro/ds/isb_list.hpp"
 #include "repro/ds/isb_queue.hpp"
 #include "repro/harness/runner.hpp"
@@ -76,20 +77,22 @@ namespace repro::harness::kill {
 // are the concrete non-virtual templates, not registry wrappers: a
 // polymorphic object's vtable pointer is process-specific and would be
 // stale in the verifier, so the heap root must be vtable-free.
-enum class Family { isb_list, isb_queue, dt_list };
+enum class Family { isb_list, isb_queue, dt_list, hm_map };
 
 inline const char* family_name(Family f) {
   switch (f) {
     case Family::isb_list: return "isb-list";
     case Family::isb_queue: return "isb-queue";
     case Family::dt_list: return "dt-list";
+    case Family::hm_map: return "hm-map";
   }
   return "?";
 }
 
 inline const std::vector<Family>& all_families() {
   static const std::vector<Family> fams = {
-      Family::isb_list, Family::isb_queue, Family::dt_list};
+      Family::isb_list, Family::isb_queue, Family::dt_list,
+      Family::hm_map};
   return fams;
 }
 
@@ -375,6 +378,12 @@ void run_queue_lanes(const KillPlan& plan, S* s, JournalWriter& j) {
     case Family::dt_list:
       root = heap->root<ds::DtListT<>>(kRootName);
       break;
+    case Family::hm_map:
+      // The hash map's whole bucket directory (blocks + sentinels) is
+      // carved from the arena during this construction, so the fresh
+      // verifier process walks it through the same fixed-base pointers.
+      root = heap->root<ds::IsbHashMapT<>>(kRootName);
+      break;
   }
   if (root == nullptr || !j.open_trunc(plan.journal_path())) {
     ::_exit(120);
@@ -398,6 +407,12 @@ void run_queue_lanes(const KillPlan& plan, S* s, JournalWriter& j) {
       break;
     case Family::dt_list:
       run_list_lanes(plan, static_cast<ds::DtListT<>*>(root), j);
+      break;
+    case Family::hm_map:
+      // Same lane driver as the lists: the map exposes the identical
+      // insert/erase/find + recover surface, and the per-lane key
+      // spans scatter across buckets via the map's hash.
+      run_list_lanes(plan, static_cast<ds::IsbHashMapT<>*>(root), j);
       break;
   }
   ::_exit(0);
@@ -787,6 +802,13 @@ inline int verify_in_process(const KillPlan& plan, std::string& detail,
     }
     case Family::dt_list: {
       auto* s = heap->find_root<ds::DtListT<>>(kRootName);
+      v = s == nullptr ? -1 : verify_list(s, j, detail);
+      break;
+    }
+    case Family::hm_map: {
+      // The K4 audit iterates buckets inside snapshot_keys(); the
+      // verifier's set-based comparison is walk-order-insensitive.
+      auto* s = heap->find_root<ds::IsbHashMapT<>>(kRootName);
       v = s == nullptr ? -1 : verify_list(s, j, detail);
       break;
     }

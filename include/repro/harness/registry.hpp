@@ -3,9 +3,10 @@
 // Every structure in ds/ and baselines/ registers exactly once, under
 // its paper name (Section 5 / Section 6 naming), as a trait-tagged
 // factory producing a type-erased instance.  Experiment specs select
-// series by exact name, shell glob ("Isb*"), or trait ("trait:paper-
-// list"), so adding a structure to every relevant figure is one
-// registration — no bench binary changes.
+// series by exact name, shell glob ("Isb*"), trait ("trait:paper-
+// list"), kind ("kind:set"), or an '&'-composition of those atoms
+// ("trait:detectable&kind:set"), so adding a structure to every
+// relevant figure is one registration — no bench binary changes.
 //
 // Kinds and their type-erased interfaces:
 //   set       — insert/erase/find over int64 keys (lists, BST, skiplist)
@@ -21,6 +22,7 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -41,6 +43,7 @@
 #include "repro/ds/dt_stack.hpp"
 #include "repro/ds/isb_bst.hpp"
 #include "repro/ds/isb_exchanger.hpp"
+#include "repro/ds/hm_hashtable.hpp"
 #include "repro/ds/isb_list.hpp"
 #include "repro/ds/isb_queue.hpp"
 
@@ -273,24 +276,48 @@ class Registry {
     return nullptr;
   }
 
-  // Selector grammar: "trait:X" matches entries carrying trait X (the
-  // kind name counts as a trait); anything containing `*`/`?` is a
-  // glob over names; otherwise an exact name.
+  // One selector atom against one entry:
+  //   "trait:X" — entries carrying trait X (the kind name counts as a
+  //               trait, so "trait:set" works too);
+  //   "kind:K"  — entries of kind K (the explicit spelling, clearer in
+  //               composed selectors than the trait alias);
+  //   glob      — anything containing `*`/`?` globs over names;
+  //   otherwise — an exact name.
+  static bool matches_atom(std::string_view atom, const AlgoEntry& e) {
+    constexpr std::string_view kTrait = "trait:";
+    constexpr std::string_view kKind = "kind:";
+    if (atom.substr(0, kTrait.size()) == kTrait) {
+      return e.has_trait(atom.substr(kTrait.size()));
+    }
+    if (atom.substr(0, kKind.size()) == kKind) {
+      return atom.substr(kKind.size()) == kind_name(e.kind);
+    }
+    if (atom.find('*') != std::string_view::npos ||
+        atom.find('?') != std::string_view::npos) {
+      return glob_match(atom, e.name);
+    }
+    return atom == e.name;
+  }
+
+  // A selector is one or more atoms joined by '&'; an entry matches
+  // when every atom does, so "trait:detectable&kind:set" selects
+  // exactly the detectable sets (fuzzable key-value structures) and
+  // "trait:hashmap&Isb-*" narrows a trait by name.  No registered name
+  // contains '&', so the split is unambiguous.
+  static bool matches(std::string_view selector, const AlgoEntry& e) {
+    while (true) {
+      const std::size_t amp = selector.find('&');
+      const std::string_view atom = selector.substr(0, amp);
+      if (!matches_atom(atom, e)) return false;
+      if (amp == std::string_view::npos) return true;
+      selector.remove_prefix(amp + 1);
+    }
+  }
+
   std::vector<const AlgoEntry*> select(std::string_view selector) const {
     std::vector<const AlgoEntry*> out;
-    constexpr std::string_view kTrait = "trait:";
-    if (selector.substr(0, kTrait.size()) == kTrait) {
-      const auto t = selector.substr(kTrait.size());
-      for (const auto& e : entries_) {
-        if (e.has_trait(t)) out.push_back(&e);
-      }
-    } else if (selector.find('*') != std::string_view::npos ||
-               selector.find('?') != std::string_view::npos) {
-      for (const auto& e : entries_) {
-        if (glob_match(selector, e.name)) out.push_back(&e);
-      }
-    } else if (const AlgoEntry* e = find(selector)) {
-      out.push_back(e);
+    for (const auto& e : entries_) {
+      if (matches(selector, e)) out.push_back(&e);
     }
     return out;
   }
@@ -326,6 +353,19 @@ class Registry {
 // ---------------------------------------------------------------------
 
 namespace detail {
+
+// Bucket-count override for the hash-map registrations: the registry
+// factories are shared by benches, fuzzers and tests, so the knob is an
+// environment variable rather than a per-spec field.  Clamped to the
+// core's supported range; unset/garbage keeps the default.
+inline int hm_bucket_bits() {
+  int bits = 13;  // 8192 buckets
+  if (const char* v = std::getenv("REPRO_HM_BUCKET_BITS")) {
+    const long parsed = std::atol(v);
+    if (parsed >= 0 && parsed <= 15) bits = static_cast<int>(parsed);
+  }
+  return bits;
+}
 
 inline bool register_builtins() {
   using baselines::CapsulesList;
@@ -403,6 +443,36 @@ inline bool register_builtins() {
   r.add({"Isb-Opt-noROopt", Kind::set,
          {"detectable", "persistent", "isb-list", "ablation"},
          isb_list(PersistProfile::optimized, false)});
+
+  // Harris-Michael hash map (ROADMAP item 1): the same transformations
+  // over per-bucket Harris segments — trait "hashmap", and
+  // "detectable" so every fuzz family sweeps the detectable variants
+  // automatically.
+  auto isb_hm = [](PersistProfile p, bool ro) {
+    return [p, ro]() -> std::unique_ptr<Structure> {
+      ds::IsbHashMap::Config c;
+      c.profile = p;
+      c.read_only_opt = ro;
+      c.bucket_bits = hm_bucket_bits();
+      return std::make_unique<SetAdapter<ds::IsbHashMap>>(c);
+    };
+  };
+  r.add({"Isb-HashMap", Kind::set,
+         {"detectable", "persistent", "hashmap", "isb-list"},
+         isb_hm(PersistProfile::general, true)});
+  r.add({"Isb-HashMap-Opt", Kind::set,
+         {"detectable", "persistent", "hashmap", "isb-list"},
+         isb_hm(PersistProfile::optimized, true)});
+  r.add({"DT-HashMap", Kind::set,
+         {"detectable", "persistent", "hashmap", "dt"}, [] {
+           return std::make_unique<SetAdapter<ds::DtHashMap>>(
+               PersistProfile::general, hm_bucket_bits());
+         }});
+  r.add({"Harris-HashMap", Kind::set,
+         {"volatile", "baseline", "hashmap"}, [] {
+           return std::make_unique<SetAdapter<ds::HarrisHashMap>>(
+               hm_bucket_bits());
+         }});
 
   // Queue series (Figure 7): trait "paper-queue".
   r.add({"Isb-Queue", Kind::queue,

@@ -57,13 +57,48 @@ TEST(Registry, TraitSelectionMatchesPaperSeries) {
 TEST(Registry, GlobSelection) {
   const Registry& reg = Registry::instance();
   const auto isbs = reg.select("Isb*");
-  // Isb, Isb-Opt, Isb-noROopt, Isb-Opt-noROopt, Isb-Queue,
-  // Isb-Exchanger, Isb-leak (the no-reclaim ablation)
-  EXPECT_EQ(isbs.size(), 7u);
+  // Isb, Isb-Opt, Isb-noROopt, Isb-Opt-noROopt, Isb-HashMap,
+  // Isb-HashMap-Opt, Isb-Queue, Isb-Exchanger, Isb-leak (the
+  // no-reclaim ablation)
+  EXPECT_EQ(isbs.size(), 9u);
   // Isb-Queue, Log-Queue, MS-Queue
   EXPECT_EQ(reg.select("*-Queue").size(), 3u);
   EXPECT_TRUE(glob_match("*Queue", "MS-Queue"));
   EXPECT_FALSE(glob_match("*Queue", "MS-Queued"));
+}
+
+TEST(Registry, KindSelectorMatchesKindName) {
+  const Registry& reg = Registry::instance();
+  const auto sets = reg.select("kind:set");
+  EXPECT_FALSE(sets.empty());
+  for (const AlgoEntry* e : sets) EXPECT_EQ(e->kind, Kind::set);
+  const auto queues = reg.select("kind:queue");
+  EXPECT_FALSE(queues.empty());
+  for (const AlgoEntry* e : queues) EXPECT_EQ(e->kind, Kind::queue);
+  EXPECT_TRUE(reg.select("kind:no-such-kind").empty());
+  // `kind:` filters the Kind enum; `trait:` counts the kind name among
+  // the traits too (has_trait), so trait:set is a superset of kind:set
+  // only in spelling — they agree on membership.
+  EXPECT_EQ(reg.select("trait:set").size(), sets.size());
+}
+
+TEST(Registry, AmpersandComposesAtomsConjunctively) {
+  const Registry& reg = Registry::instance();
+  // All four hash maps (3 detectable + the volatile baseline)…
+  const auto all_hm = reg.select("trait:hashmap");
+  ASSERT_EQ(all_hm.size(), 4u);
+  // …every one of them is a set, so kind:set must not narrow it…
+  EXPECT_EQ(reg.select("trait:hashmap&kind:set").size(), 4u);
+  // …but trait:detectable must drop the Harris baseline.
+  const auto det_hm = reg.select("trait:detectable&trait:hashmap");
+  ASSERT_EQ(det_hm.size(), 3u);
+  for (const AlgoEntry* e : det_hm) {
+    EXPECT_TRUE(e->has_trait("detectable")) << e->name;
+    EXPECT_TRUE(e->has_trait("hashmap")) << e->name;
+  }
+  // Globs compose too, and an unsatisfiable conjunction is empty.
+  EXPECT_EQ(reg.select("Isb*&trait:hashmap").size(), 2u);
+  EXPECT_TRUE(reg.select("trait:hashmap&kind:queue").empty());
 }
 
 TEST(Registry, SelectAllDeduplicatesPreservingOrder) {
