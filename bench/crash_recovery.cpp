@@ -40,6 +40,20 @@
 //                      the durable cut and the post-resume history
 //                      must stay consistent.  REPRO_STALL_POINTS
 //                      iterations per structure.
+//   reclaim-fuzz     — the crash-during-reclaim adversary: an
+//                      erase-biased workload densifies the retire
+//                      paths so crash points land inside
+//                      retire/scan/reclaim, and after each crash every
+//                      parked (retired, unreclaimed) cell across all
+//                      three reclamation schemes is checked for
+//                      unpersisted stores (the persist-before-retire
+//                      invariant).  Sweeps the reclaimer matrix plus
+//                      Isb-Opt, whose fence-free post_update flushes
+//                      are what a dropped retire fence would leave
+//                      dirty.  REPRO_RECLAIM_POINTS iterations per
+//                      structure.
+//   reclaim-matrix   — throughput of the structure x reclaimer x mode
+//                      grid (the BENCH_PR10 perf trajectory).
 //   crash-lists/-q   — the PR2 wall-clock crash scenario kept as a
 //                      regression point: multi-threaded workload,
 //                      crash at an operation boundary, recover()
@@ -59,14 +73,19 @@
 // A chain-fuzz reproducer additionally carries a crash_chain array;
 // replay it with CrashPlan::replay_chain (tests/test_corpus.cpp).
 //
+// REPRO_RECLAIMER=<ebr|hp|pop> narrows every fuzz-family figure to the
+// structures of one reclamation scheme (the CI matrix legs).
+//
 // REPRO_SCENARIO=<single-crash|repeated-crash|thread-death|
-// stalled-thread> retargets the base crash-fuzz / conc-fuzz figures at
+// stalled-thread|reclaim-crash> retargets the base crash-fuzz /
+// conc-fuzz figures at
 // a different scenario family (the dedicated chain/tdeath/stall
 // figures are usually more convenient; the override exists for
 // replaying a reproducer under the exact figure name CI reported).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -112,7 +131,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "repro: unknown REPRO_SCENARIO '%s'\n", sc);
       return 2;
     }
-    if (kind == ScenarioKind::repeated_crash) {
+    if (kind == ScenarioKind::repeated_crash ||
+        kind == ScenarioKind::reclaim_crash) {
       fuzz.crash_plan.scenario = kind;
     } else if (kind != ScenarioKind::single_crash) {
       conc.conc_plan.scenario = kind;
@@ -149,6 +169,47 @@ int main(int argc, char** argv) {
   stall.conc_plan.threads = env_points("REPRO_CONC_FUZZ_THREADS", 3);
   stall.conc_plan.scenario = ScenarioKind::stalled_thread;
 
+  // The reclaimer matrix: one list, one queue, one hash map per
+  // scheme.  Isb-Opt rides along in the fuzz figure because its
+  // optimized profile leaves post_update flushes unfenced — exactly
+  // the window a dropped persist-before-retire fence exposes (the
+  // REPRO_MUTATE_DROP_RETIRE_PERSIST self-test detects through it).
+  const std::vector<std::string> matrix = {
+      "Isb",          "Isb-Queue",     "DT-HashMap",
+      "Isb-List-HP",  "Isb-Queue-HP",  "DT-HashMap-HP",
+      "Isb-List-POP", "Isb-Queue-POP", "DT-HashMap-POP"};
+
+  ExperimentSpec reclaim;
+  reclaim.figure = "reclaim-fuzz";
+  reclaim.what =
+      "crash-during-reclaim fuzzing: parked cells checked for "
+      "unpersisted stores across EBR/HP/POP";
+  reclaim.structures = matrix;
+  reclaim.structures.push_back("Isb-Opt");
+  reclaim.crash_plan.points = env_points("REPRO_RECLAIM_POINTS", 200);
+  reclaim.crash_plan.scenario = ScenarioKind::reclaim_crash;
+
+  ExperimentSpec rmatrix;
+  rmatrix.figure = "reclaim-matrix";
+  rmatrix.what =
+      "structure x reclaimer x mode throughput grid (EBR vs HP vs POP)";
+  rmatrix.structures = matrix;
+  rmatrix.key_ranges = {500};
+  rmatrix.mixes = {kUpdateIntensive};
+  rmatrix.threads = {1, 4};
+  rmatrix.modes = {repro::pmem::Mode::count_only,
+                   repro::pmem::Mode::shadow};
+
+  // One reclamation scheme at a time (the CI fuzz legs): narrow every
+  // fuzz family to the structures carrying that scheme's trait.
+  if (const std::string rf = detail::reclaimer_filter(); !rf.empty()) {
+    const std::string atom = "&trait:reclaimer-" + rf;
+    for (ExperimentSpec* spec :
+         {&fuzz, &chain, &conc, &tdeath, &stall, &reclaim}) {
+      for (std::string& sel : spec->structures) sel += atom;
+    }
+  }
+
   ExperimentSpec lists;
   lists.figure = "crash-lists";
   lists.what = "detectable recovery after a mid-interval crash (lists)";
@@ -181,5 +242,6 @@ int main(int argc, char** argv) {
 
   return repro::bench::experiment_main(
       argc, argv,
-      {fuzz, chain, conc, tdeath, stall, lists, queues, overhead});
+      {fuzz, chain, conc, tdeath, stall, reclaim, lists, queues,
+       overhead, rmatrix});
 }

@@ -87,13 +87,13 @@ struct HarrisOps {
 
   static bool insert(Node* head, Node* tail, Policy& policy,
                      std::int64_t key) {
-    [[maybe_unused]] typename Reclaimer::Guard guard;
+    typename Reclaimer::Guard guard;
     policy.op_start(OpKind::insert, key, false);
     Node* node = nullptr;
     bool ok = false;
     while (true) {
       Node* left = nullptr;
-      Node* right = search(head, tail, policy, key, &left);
+      Node* right = search(head, tail, policy, guard, key, &left);
       if (right != tail && right->key == key) {
         ok = false;
         break;
@@ -122,12 +122,12 @@ struct HarrisOps {
 
   static bool erase(Node* head, Node* tail, Policy& policy,
                     std::int64_t key) {
-    [[maybe_unused]] typename Reclaimer::Guard guard;
+    typename Reclaimer::Guard guard;
     policy.op_start(OpKind::erase, key, false);
     bool ok = false;
     while (true) {
       Node* left = nullptr;
-      Node* right = search(head, tail, policy, key, &left);
+      Node* right = search(head, tail, policy, guard, key, &left);
       if (right == tail || right->key != key) {
         ok = false;
         break;
@@ -159,10 +159,10 @@ struct HarrisOps {
 
   static bool find(Node* head, Node* tail, Policy& policy,
                    std::int64_t key) {
-    [[maybe_unused]] typename Reclaimer::Guard guard;
+    typename Reclaimer::Guard guard;
     policy.op_start(OpKind::find, key, true);
     Node* left = nullptr;
-    Node* right = search(head, tail, policy, key, &left);
+    Node* right = search(head, tail, policy, guard, key, &left);
     const bool ok = (right != tail && right->key == key);
     policy.op_end(ok, ok ? 1 : 0, true);
     return ok;
@@ -171,25 +171,61 @@ struct HarrisOps {
   // Harris search: returns the first unmarked node with key >= `key`
   // and its unmarked predecessor, unlinking (and retiring) any marked
   // chain in between.
+  //
+  // Under a hazard-pointer reclaimer (Guard::kHazards) every step runs
+  // the protect/validate protocol: the candidate is published in a
+  // hazard cell, then the link it was read from is re-read — a
+  // mismatch means the candidate may already be unlinked (and past a
+  // scan), so the traversal restarts.  Three hazard cells suffice:
+  // slot 0 pins `left` (the CAS target after the search returns) and
+  // slots 1/2 alternate between the current node and its source, so
+  // the node a link was read *from* stays protected while the node it
+  // points *to* is validated.  Epoch reclaimers compile all of it out
+  // (kHazards == false).
   static Node* search(Node* head, Node* tail, Policy& policy,
+                      typename Reclaimer::Guard& guard,
                       std::int64_t key, Node** left_node) {
+    (void)guard;
     while (true) {
       Node* left = head;
       Node* left_next = head->next.load(std::memory_order_acquire);
       Node* t = head;
       Node* t_next = left_next;
+      [[maybe_unused]] int hz = 1;
+      bool restart = false;
       // Phase 1: advance until the first unmarked node with key >= key,
       // remembering the last unmarked predecessor.
       do {
         if (!is_marked(t_next)) {
           left = t;
           left_next = t_next;
+          if constexpr (Reclaimer::Guard::kHazards) {
+            // t is already covered by a rotating slot; slot 0 keeps it
+            // covered after the rotation moves on.
+            guard.protect(0, left);
+          }
         }
+        [[maybe_unused]] Node* src = t;
+        [[maybe_unused]] Node* link = t_next;
         t = unmark(t_next);
         if (t == tail) break;
+        if constexpr (Reclaimer::Guard::kHazards) {
+          guard.protect(hz, t);
+          // Validate: src (head, or protected by the other rotating
+          // slot) must still link to t exactly as first read, or t may
+          // already be unlinked — and reclaimed the moment our hazard
+          // store lost the race with a scan.
+          if (src->next.load(std::memory_order_acquire) != link) {
+            restart = true;
+            break;
+          }
+          hz ^= 3;  // 1 <-> 2: keep t protected while its successor is
+                    // validated against it next iteration
+        }
         t_next = t->next.load(std::memory_order_acquire);
         policy.visit(t, is_marked(t_next));
       } while (is_marked(t_next) || t->key < key);
+      if (restart) continue;
       Node* right = t;
 
       // Phase 2: adjacent — done, unless right got marked meanwhile.

@@ -90,6 +90,14 @@ class MsQueueCore {
 #endif
     while (true) {
       Node* last = tail_.load(std::memory_order_acquire);
+      if constexpr (Reclaimer::Guard::kHazards) {
+        // Protect-then-validate before the first dereference of last:
+        // if tail_ still holds it after the (seq_cst) hazard store,
+        // last was not yet uninstalled, so no scan can free it while
+        // the hazard stands.
+        guard.protect(0, last);
+        if (last != tail_.load(std::memory_order_acquire)) continue;
+      }
       Node* next = last->next.load(std::memory_order_acquire);
       policy_.visit(last, false);
       if (last != tail_.load(std::memory_order_acquire)) continue;
@@ -132,6 +140,11 @@ class MsQueueCore {
     DequeueResult r;
     while (true) {
       Node* first = head_.load(std::memory_order_acquire);
+      if constexpr (Reclaimer::Guard::kHazards) {
+        // Protect first before dereferencing its next link (below).
+        guard.protect(0, first);
+        if (first != head_.load(std::memory_order_acquire)) continue;
+      }
       Node* last = tail_.load(std::memory_order_acquire);
       Node* next = first->next.load(std::memory_order_acquire);
       policy_.visit(first, false);
@@ -147,6 +160,13 @@ class MsQueueCore {
         Node* expl = last;  // tail lagging: help
         tail_.cas(expl, next);
         continue;
+      }
+      if constexpr (Reclaimer::Guard::kHazards) {
+        // Protect next before reading its value: head_ still holding
+        // first means first was not uninstalled, so next is still the
+        // first real node — reachable, hence not retired.
+        guard.protect(1, next);
+        if (first != head_.load(std::memory_order_acquire)) continue;
       }
       const std::uint64_t value =
           next->value.load(std::memory_order_acquire);

@@ -73,6 +73,8 @@
 #include "repro/harness/runner.hpp"
 #include "repro/harness/workload.hpp"
 #include "repro/mem/ebr.hpp"
+#include "repro/mem/hp.hpp"
+#include "repro/mem/pop.hpp"
 #include "repro/pmem/crash.hpp"
 #include "repro/pmem/persist.hpp"
 #include "repro/pmem/shadow.hpp"
@@ -89,6 +91,7 @@ enum class ScenarioKind {
   repeated_crash,  // chained crashes landing inside recovery (K <= 4)
   thread_death,    // one thread dies; survivors race on; slot adopted
   stalled_thread,  // a worker parks across crash+recovery, resumes late
+  reclaim_crash,   // erase-heavy mix; parked cells checked for durability
 };
 
 inline const char* scenario_name(ScenarioKind k) {
@@ -96,6 +99,7 @@ inline const char* scenario_name(ScenarioKind k) {
     case ScenarioKind::repeated_crash: return "repeated-crash";
     case ScenarioKind::thread_death: return "thread-death";
     case ScenarioKind::stalled_thread: return "stalled-thread";
+    case ScenarioKind::reclaim_crash: return "reclaim-crash";
     default: return "single-crash";
   }
 }
@@ -106,7 +110,8 @@ inline bool scenario_from_name(const std::string& name,
                                ScenarioKind& out) {
   for (ScenarioKind k :
        {ScenarioKind::single_crash, ScenarioKind::repeated_crash,
-        ScenarioKind::thread_death, ScenarioKind::stalled_thread}) {
+        ScenarioKind::thread_death, ScenarioKind::stalled_thread,
+        ScenarioKind::reclaim_crash}) {
     if (name == scenario_name(k)) {
       out = k;
       return true;
@@ -370,9 +375,19 @@ inline void fuzz_one(const AlgoEntry& algo, const CrashPlan& plan,
                             rng.below(static_cast<std::uint64_t>(
                                 kKeyRange)));
           const std::uint64_t dice = rng.below(10);
-          rec.kind = dice < 4   ? ds::OpKind::insert
-                     : dice < 8 ? ds::OpKind::erase
-                                : ds::OpKind::find;
+          if (plan.scenario == ScenarioKind::reclaim_crash) {
+            // Erase-biased: each successful erase retires a node, so
+            // the persistence-instruction stream is dense in
+            // retire/scan-path instructions and the armed crash point
+            // lands inside reclamation far more often.
+            rec.kind = dice < 3   ? ds::OpKind::insert
+                       : dice < 9 ? ds::OpKind::erase
+                                  : ds::OpKind::find;
+          } else {
+            rec.kind = dice < 4   ? ds::OpKind::insert
+                       : dice < 8 ? ds::OpKind::erase
+                                  : ds::OpKind::find;
+          }
           rec.mutating = rec.kind != ds::OpKind::find;
           inflight = rec;
           switch (rec.kind) {
@@ -440,6 +455,35 @@ inline void fuzz_one(const AlgoEntry& algo, const CrashPlan& plan,
 
     if (crashed) {
       ++report.crashes;
+      // Crash-during-reclaim invariant, checked against the *pre-rewind*
+      // tracking state (dirty flags are consumed by shadow::crash):
+      // every parked cell — retired into any scheme's limbo/batch under
+      // the iteration's ReclaimPause — must be durably equal to its
+      // volatile contents.  persist-before-retire (flush+fence in
+      // mem::detail::persist_retired) is what guarantees it; the
+      // REPRO_MUTATE_DROP_RETIRE_PERSIST build elides that fence and
+      // must be caught here (a retired-but-dirty cell means a rewound
+      // durable link could reach a torn image of it).
+      if (plan.scenario == ScenarioKind::reclaim_crash) {
+        struct ParkedScan {
+          std::size_t parked = 0;
+          std::size_t dirty = 0;
+        } pscan;
+        mem::for_each_parked_cell(
+            &pscan, [](void* ctx, const void* cell, std::size_t bytes) {
+              auto* d = static_cast<ParkedScan*>(ctx);
+              ++d->parked;
+              if (pmem::shadow::range_dirty(cell, bytes)) ++d->dirty;
+            });
+        if (pscan.dirty != 0) {
+          char buf[96];
+          std::snprintf(buf, sizeof(buf),
+                        "%zu of %zu parked cells hold unpersisted "
+                        "stores at crash (persist-before-retire)",
+                        pscan.dirty, pscan.parked);
+          fail(buf);
+        }
+      }
       // Power failure: rewind to the durable image.
       Rng coin_rng(mix_seed(iter_seed, crash_point));
       shadow::crash(plan.fidelity,
@@ -684,6 +728,8 @@ inline void fuzz_one(const AlgoEntry& algo, const CrashPlan& plan,
   holder.reset();
   }  // ReclaimPause ends here
   mem::EpochDomain::instance().quiesce();
+  mem::PopDomain::instance().quiesce();
+  mem::HpDomain::instance().quiesce();
 }
 
 // Fuzzes one structure across plan.points crash points.
@@ -1149,6 +1195,7 @@ inline void concurrent_fuzz_one(const AlgoEntry& algo,
         // epoch pin; reset_slot_pin makes the harness's "this lane is
         // dead" claim explicit before the slot is adopted.
         mem::EpochDomain::instance().reset_slot_pin(w.slot);
+        mem::PopDomain::instance().reset_slot_pin(w.slot);
         ds::Recovered adopted;
         {
           std::thread adopter([&] { adopted = s->recover(w.slot); });
@@ -1264,6 +1311,8 @@ inline void concurrent_fuzz_one(const AlgoEntry& algo,
   holder.reset();
   }  // ReclaimPause ends here
   mem::EpochDomain::instance().quiesce();
+  mem::PopDomain::instance().quiesce();
+  mem::HpDomain::instance().quiesce();
 }
 
 // Fuzzes one structure across plan.points concurrent crash points.

@@ -463,6 +463,11 @@ inline ResultRow run_point(const ExperimentSpec& spec, const Point& p) {
   row.mode = mode_name(p.mode);
   row.scenario = point_scenario(spec, p);
   row.crash_scenario = point_crash_scenario(spec);
+  row.reclaimer = p.algo->has_trait("reclaimer-hp")    ? "hp"
+                  : p.algo->has_trait("reclaimer-pop") ? "pop"
+                  : p.algo->has_trait("no-reclaim")    ? "leak"
+                  : p.algo->has_trait("reclaimer-ebr") ? "ebr"
+                                                       : "";
   row.seed = spec.is_crash_fuzz()  ? spec.crash_plan.effective_seed()
              : spec.is_conc_fuzz() ? spec.conc_plan.effective_seed()
                                    : global_seed();

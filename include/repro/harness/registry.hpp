@@ -46,6 +46,8 @@
 #include "repro/ds/hm_hashtable.hpp"
 #include "repro/ds/isb_list.hpp"
 #include "repro/ds/isb_queue.hpp"
+#include "repro/mem/hp.hpp"
+#include "repro/mem/pop.hpp"
 
 namespace repro::harness {
 
@@ -367,6 +369,18 @@ inline int hm_bucket_bits() {
   return bits;
 }
 
+// REPRO_RECLAIMER=ebr|hp|pop narrows reclaimer-tagged selectors to one
+// scheme (the CI fuzz legs sweep the matrix one column at a time).
+// Returns the validated scheme name, or "" when unset/garbage — the
+// caller then runs its full default selection.
+inline std::string reclaimer_filter() {
+  if (const char* v = std::getenv("REPRO_RECLAIMER")) {
+    const std::string s = v;
+    if (s == "ebr" || s == "hp" || s == "pop") return s;
+  }
+  return "";
+}
+
 inline bool register_builtins() {
   using baselines::CapsulesList;
   using baselines::CapsulesQueue;
@@ -395,10 +409,15 @@ inline bool register_builtins() {
 
   // Section 5 list series (Figures 1, 3-6): trait "paper-list".
   r.add({"Isb", Kind::set,
-         {"detectable", "persistent", "paper-list", "isb-list"},
+         {"detectable", "persistent", "paper-list", "isb-list",
+          "reclaimer-ebr"},
          isb_list(PersistProfile::general, true)});
+  // reclaimer-ebr keeps Isb-Opt inside the REPRO_RECLAIMER=ebr CI leg:
+  // it rides along in the reclaim-fuzz figure (its fence-free
+  // post_update flushes are the persist-before-retire detection path).
   r.add({"Isb-Opt", Kind::set,
-         {"detectable", "persistent", "paper-list", "isb-list"},
+         {"detectable", "persistent", "paper-list", "isb-list",
+          "reclaimer-ebr"},
          isb_list(PersistProfile::optimized, true)});
   r.add({"Capsules", Kind::set, {"persistent", "paper-list", "capsules"},
          [] {
@@ -464,7 +483,8 @@ inline bool register_builtins() {
          {"detectable", "persistent", "hashmap", "isb-list"},
          isb_hm(PersistProfile::optimized, true)});
   r.add({"DT-HashMap", Kind::set,
-         {"detectable", "persistent", "hashmap", "dt"}, [] {
+         {"detectable", "persistent", "hashmap", "dt", "reclaimer-ebr"},
+         [] {
            return std::make_unique<SetAdapter<ds::DtHashMap>>(
                PersistProfile::general, hm_bucket_bits());
          }});
@@ -474,9 +494,49 @@ inline bool register_builtins() {
                hm_bucket_bits());
          }});
 
+  // Reclamation-scheme matrix (ROADMAP item 2): the same structures
+  // under hazard pointers and publish-on-ping epochs.  One list, one
+  // queue and one hash map per scheme keeps the cross-product useful
+  // without doubling every fuzz sweep; trait "reclaimer-<scheme>"
+  // selects a column (the EBR bases above carry "reclaimer-ebr").
+  r.add({"Isb-List-HP", Kind::set,
+         {"detectable", "persistent", "isb-list", "reclaimer-hp"}, [] {
+           return std::make_unique<
+               SetAdapter<ds::IsbListT<mem::HpReclaimer>>>();
+         }});
+  r.add({"Isb-List-POP", Kind::set,
+         {"detectable", "persistent", "isb-list", "reclaimer-pop"}, [] {
+           return std::make_unique<
+               SetAdapter<ds::IsbListT<mem::PopReclaimer>>>();
+         }});
+  r.add({"Isb-Queue-HP", Kind::queue,
+         {"detectable", "persistent", "reclaimer-hp"}, [] {
+           return std::make_unique<
+               QueueAdapter<ds::IsbQueueT<mem::HpReclaimer>>>();
+         }});
+  r.add({"Isb-Queue-POP", Kind::queue,
+         {"detectable", "persistent", "reclaimer-pop"}, [] {
+           return std::make_unique<
+               QueueAdapter<ds::IsbQueueT<mem::PopReclaimer>>>();
+         }});
+  r.add({"DT-HashMap-HP", Kind::set,
+         {"detectable", "persistent", "hashmap", "dt", "reclaimer-hp"},
+         [] {
+           return std::make_unique<
+               SetAdapter<ds::DtHashMapT<mem::HpReclaimer>>>(
+               PersistProfile::general, hm_bucket_bits());
+         }});
+  r.add({"DT-HashMap-POP", Kind::set,
+         {"detectable", "persistent", "hashmap", "dt", "reclaimer-pop"},
+         [] {
+           return std::make_unique<
+               SetAdapter<ds::DtHashMapT<mem::PopReclaimer>>>(
+               PersistProfile::general, hm_bucket_bits());
+         }});
+
   // Queue series (Figure 7): trait "paper-queue".
   r.add({"Isb-Queue", Kind::queue,
-         {"detectable", "persistent", "paper-queue"},
+         {"detectable", "persistent", "paper-queue", "reclaimer-ebr"},
          [] { return std::make_unique<QueueAdapter<IsbQueue>>(); }});
   r.add({"Log-Queue", Kind::queue, {"persistent", "paper-queue"},
          [] { return std::make_unique<QueueAdapter<LogQueue>>(); }});

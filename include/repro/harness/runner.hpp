@@ -17,6 +17,7 @@
 #include "repro/harness/workload.hpp"
 #include "repro/mem/ebr.hpp"
 #include "repro/mem/pool.hpp"
+#include "repro/mem/pop.hpp"
 #include "repro/pmem/persist.hpp"
 
 namespace repro::harness {
@@ -139,8 +140,10 @@ RunResult run_threads(int threads, Body&& body, int run_ms = 0) {
 
   // Prefill (or any prior setup) ran on this thread and left its epoch
   // pin armed; drop it so the sleeping driver does not stall the
-  // workers' grace periods for the whole measured interval.
+  // workers' grace periods for the whole measured interval.  Both
+  // epoch-style domains pin; hazard pointers self-clear at guard exit.
   mem::EpochDomain::instance().release_pin();
+  mem::PopDomain::instance().release_pin();
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));

@@ -53,6 +53,10 @@ struct ResultRow {
   // "thread-death", "stalled-thread", "timed-stop"); "" for plain
   // measurement points.
   std::string crash_scenario;
+  // Reclamation scheme behind the structure ("ebr", "hp", "pop",
+  // "leak"); "" when the structure predates the reclaimer matrix or
+  // carries no reclaimer trait.
+  std::string reclaimer;
 };
 
 class ResultSink {
@@ -167,7 +171,8 @@ class CsvSink final : public StreamSinkBase {
                "seconds,total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,"
                "psync_per_op,coalesced_pwb_per_op,allocs_per_op,"
                "retired_per_op,reuse_ratio,recovery_us,seed,"
-               "crash_points,crash_violations,crash_scenario\n";
+               "crash_points,crash_violations,crash_scenario,"
+               "reclaimer\n";
       header_written_ = true;
     }
     out() << r.run.point_index << ',' << r.figure << ',' << r.algo << ','
@@ -187,7 +192,7 @@ class CsvSink final : public StreamSinkBase {
     if (r.crash_points >= 0) out() << r.crash_points;
     out() << ',';
     if (r.crash_violations >= 0) out() << r.crash_violations;
-    out() << ',' << r.crash_scenario << '\n';
+    out() << ',' << r.crash_scenario << ',' << r.reclaimer << '\n';
     out().flush();
   }
 
@@ -232,6 +237,10 @@ class JsonlSink final : public StreamSinkBase {
     }
     if (!r.crash_scenario.empty()) {
       out() << ",\"crash_scenario\":\"" << json_escape(r.crash_scenario)
+            << "\"";
+    }
+    if (!r.reclaimer.empty()) {
+      out() << ",\"reclaimer\":\"" << json_escape(r.reclaimer)
             << "\"";
     }
     out() << "}\n";

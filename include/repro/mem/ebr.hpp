@@ -54,8 +54,37 @@
 
 #include "repro/ds/detectable.hpp"
 #include "repro/mem/pool.hpp"
+#include "repro/pmem/persist.hpp"
 
 namespace repro::mem {
+
+namespace detail {
+// Persist-before-retire: flush (and fence) a node's lines before the
+// node enters any scheme's limbo/retire list.  Once retired, a cell's
+// next mutation is its *reinitialisation* by a future owner — if the
+// last pre-retire stores were still pending in a write-back queue, a
+// crash could rewind the cell to a torn image while a rewound durable
+// link still reaches it (the unlink that freed it may itself be among
+// the lost write-backs).  Fencing here pins the invariant the
+// crash-during-reclaim scenario checks: a parked cell is always
+// durably equal to its live contents.  REPRO_MUTATE_DROP_RETIRE_PERSIST
+// is the scenario's mutation self-test: building with it elides
+// exactly this flush+fence, and the reclaim-crash fuzzer must then
+// report a parked cell with unpersisted stores.
+inline void persist_retired(const void* p, std::size_t bytes) {
+#ifndef REPRO_MUTATE_DROP_RETIRE_PERSIST
+  const auto base = reinterpret_cast<std::uintptr_t>(p);
+  for (std::uintptr_t a = base & ~std::uintptr_t{kCacheLine - 1};
+       a < base + bytes; a += kCacheLine) {
+    pmem::flush(reinterpret_cast<const void*>(a));
+  }
+  pmem::fence();
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+}  // namespace detail
 
 inline constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
 inline constexpr int kEpochLists = 3;
@@ -98,6 +127,13 @@ class EpochDomain {
     Guard(const Guard&) = delete;
     Guard& operator=(const Guard&) = delete;
 
+    // Reclaimer-concept hook (see HpDomain::Guard for the real one):
+    // the epoch pin already protects everything reachable, so EBR
+    // needs no per-pointer hazards and kHazards == false lets the
+    // cores compile out the protect/validate re-reads entirely.
+    static constexpr bool kHazards = false;
+    void protect(int, const void*) {}
+
    private:
     EpochDomain::Slot& slot_;
   };
@@ -118,18 +154,32 @@ class EpochDomain {
 
   // Hand a physically-unlinked node to the reclaimer.  The deleter runs
   // on this thread once the grace period has elapsed (it typically
-  // returns the cell to this thread's NodePool shard).
-  void retire(void* p, Deleter del) {
+  // returns the cell to this thread's NodePool shard).  `bytes` is the
+  // cell's size, recorded so the crash-during-reclaim walker can check
+  // every line the parked node occupies.
+  void retire(void* p, Deleter del, std::size_t bytes = kCacheLine) {
     Slot& s = slots_[ds::thread_slot()];
     const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
     Limbo& l = s.limbo[e % kEpochLists];
     if (l.epoch != e) {
       // The list last collected nodes at epoch e - 3 (same index mod
-      // 3), which is already two advances stale: drain it first.
-      reclaim(l);
+      // 3), which is already two advances stale.  Drain it — unless a
+      // ReclaimPause is in force: draining here unconditionally was
+      // the pause-bypass bug (a cell could recycle in the middle of
+      // crash verification).  The stale items are ripe by construction
+      // (their grace period elapsed three advances ago), so they are
+      // spliced onto the slot's epoch-free parked list and freed by
+      // the first unpaused reclaim_ready — including the final
+      // resume_reclaim()'s.
+      if (reclaim_paused()) {
+        s.parked.insert(s.parked.end(), l.items.begin(), l.items.end());
+        l.items.clear();
+      } else {
+        reclaim(l);
+      }
       l.epoch = e;
     }
-    l.items.push_back({p, del});
+    l.items.push_back({p, del, bytes});
     ++detail::tl_stats.retires;
     if (++s.retire_ticks >= kAdvanceEvery) {
       s.retire_ticks = 0;
@@ -144,23 +194,27 @@ class EpochDomain {
   // link can never resurface as a recycled (re-initialised) node while
   // the post-crash image is being verified.  Pausing affects progress
   // only, never safety; nesting is allowed.
-  bool reclaim_paused() const {
-    return pause_depth_.load(std::memory_order_relaxed) > 0;
-  }
+  // The pause depth is process-wide and shared by every reclamation
+  // scheme (pool.hpp detail::pause_depth_cell): one ReclaimPause
+  // freezes EBR, HP and POP recycling alike.
+  bool reclaim_paused() const { return mem::reclaim_paused(); }
   void pause_reclaim() {
-    pause_depth_.fetch_add(1, std::memory_order_relaxed);
+    detail::pause_depth_cell().fetch_add(1, std::memory_order_relaxed);
   }
   // Nested resumes only decrement; the *final* resume drains what this
   // thread parked during the pause (retire() defers both the advance
   // scan and reclaim_ready while paused, so without this a fuzz
   // iteration's garbage would sit in limbo until the next iteration's
   // retire tick — and a crash landing inside recover() under a nested
-  // pause would leak the chain's whole footprint).  Opportunistic: with
-  // other threads pinned this reclaims only what their progress allows.
+  // pause would leak the chain's whole footprint).  The drain runs
+  // through the cross-scheme hook table, so whichever scheme parked
+  // garbage during the pause (EBR limbo, HP batches, POP limbo) gets
+  // its drain.  Opportunistic: with other threads pinned this reclaims
+  // only what their progress allows.
   void resume_reclaim() {
-    if (pause_depth_.fetch_sub(1, std::memory_order_relaxed) == 1) {
-      try_advance();
-      reclaim_ready(slots_[ds::thread_slot()]);
+    if (detail::pause_depth_cell().fetch_sub(
+            1, std::memory_order_relaxed) == 1) {
+      detail::drain_all_schemes();
     }
   }
 
@@ -195,10 +249,11 @@ class EpochDomain {
     return epoch_.load(std::memory_order_seq_cst);
   }
 
-  // Retired-but-not-yet-reclaimed nodes parked on this thread's slot.
+  // Retired-but-not-yet-reclaimed nodes parked on this thread's slot
+  // (limbo lists plus the pause-parked overflow).
   std::size_t limbo_size() {
     const Slot& s = slots_[ds::thread_slot()];
-    std::size_t n = 0;
+    std::size_t n = s.parked.size();
     for (const Limbo& l : s.limbo) n += l.items.size();
     return n;
   }
@@ -222,6 +277,7 @@ class EpochDomain {
   struct Retired {
     void* p;
     Deleter del;
+    std::size_t bytes;
   };
   struct Limbo {
     std::uint64_t epoch = 0;
@@ -232,9 +288,35 @@ class EpochDomain {
     int depth = 0;         // guard nesting (owner thread only)
     int retire_ticks = 0;  // retires since the last advance scan
     Limbo limbo[kEpochLists];
+    // Already-ripe items displaced from a stale limbo list while a
+    // ReclaimPause was in force; freed by the first unpaused
+    // reclaim_ready with no grace check (their epoch elapsed before
+    // they were parked).
+    std::vector<Retired> parked;
   };
 
-  EpochDomain() = default;
+  EpochDomain() {
+    detail::register_reclaimer_hooks(&EpochDomain::walk_parked,
+                                     &EpochDomain::drain_current_slot);
+  }
+
+  // Cross-scheme hooks (pool.hpp): the final resume_reclaim drains
+  // through these, and the crash-during-reclaim scenario walks every
+  // parked cell through them.
+  static void drain_current_slot() {
+    EpochDomain& d = instance();
+    d.try_advance();
+    d.reclaim_ready(d.slots_[ds::thread_slot()]);
+  }
+  static void walk_parked(void* ctx, detail::ParkedVisitor visit) {
+    EpochDomain& d = instance();
+    for (Slot& s : d.slots_) {
+      for (const Limbo& l : s.limbo) {
+        for (const Retired& r : l.items) visit(ctx, r.p, r.bytes);
+      }
+      for (const Retired& r : s.parked) visit(ctx, r.p, r.bytes);
+    }
+  }
 
   // A thread that exits while pinned must not stall reclamation
   // forever: a thread_local sentinel clears the announcement on thread
@@ -262,9 +344,18 @@ class EpochDomain {
     l.items.clear();
   }
 
-  // Free every limbo list of `s` that is at least two epochs behind.
+  // Free every limbo list of `s` that is at least two epochs behind,
+  // plus anything a pause displaced onto the parked list (ripe by
+  // construction — no grace check needed).
   void reclaim_ready(Slot& s) {
     if (reclaim_paused()) return;
+    if (!s.parked.empty()) {
+      for (const Retired& r : s.parked) {
+        r.del(r.p);
+        ++detail::tl_stats.reclaims;
+      }
+      s.parked.clear();
+    }
     const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
     for (Limbo& l : s.limbo) {
       if (!l.items.empty() && l.epoch + 2 <= e) reclaim(l);
@@ -275,7 +366,6 @@ class EpochDomain {
   // starting at kEpochLists keeps `l.epoch + 2 <= e` exact from the
   // first retire on.
   std::atomic<std::uint64_t> epoch_{kEpochLists};
-  std::atomic<int> pause_depth_{0};
   Slot slots_[ds::kMaxThreads];
 };
 
@@ -313,12 +403,19 @@ struct EbrReclaimer {
     NodePool<T>::instance().destroy(p);
   }
 
-  // Deferred destruction for published-then-unlinked nodes.
+  // Deferred destruction for published-then-unlinked nodes.  The
+  // cell's lines are made durable *before* it enters limbo
+  // (persist-before-retire — see detail::persist_retired), so a
+  // rewound durable walk can never dereference a torn reclaimed cell.
   template <typename T>
   static void retire(T* p) {
-    EpochDomain::instance().retire(p, [](void* q) {
-      NodePool<T>::instance().destroy(static_cast<T*>(q));
-    });
+    detail::persist_retired(p, sizeof(T));
+    EpochDomain::instance().retire(
+        p,
+        [](void* q) {
+          NodePool<T>::instance().destroy(static_cast<T*>(q));
+        },
+        sizeof(T));
   }
 };
 
@@ -326,7 +423,10 @@ struct EbrReclaimer {
 // per node, unlinked nodes leaked.  Registered under the `-leak`
 // structure names so the reclamation win is measurable in-tree.
 struct LeakReclaimer {
-  struct Guard {};
+  struct Guard {
+    static constexpr bool kHazards = false;
+    void protect(int, const void*) {}
+  };
 
   template <typename T, typename... Args>
   static T* create(Args&&... args) {

@@ -25,6 +25,7 @@
 // live nodes, which the EBR grace period keeps O(live structure size).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -82,7 +83,74 @@ inline std::atomic<std::int64_t>& outstanding_cell() {
   static std::atomic<std::int64_t> c{0};
   return c;
 }
+
+// Process-wide reclamation pause depth, shared by every reclamation
+// scheme (EBR, HP, POP).  While positive, no scheme recycles a retired
+// cell — the crash engine relies on one switch freezing all of them,
+// whatever reclaimer the structure under test was instantiated with.
+inline std::atomic<int>& pause_depth_cell() {
+  static std::atomic<int> d{0};
+  return d;
+}
+
+// Cross-scheme hook table.  Each reclamation domain registers itself
+// once (at construction): a drain function the *final* resume runs so
+// a fuzz iteration's parked garbage is freed no matter which scheme
+// parked it, and a parked-cell walker the crash-during-reclaim
+// scenario uses to assert every cell sitting in a limbo/retire list is
+// durably clean at crash time.  Slots are claimed by CAS on the walker
+// (two domains may first-construct concurrently); both fields are
+// plain function pointers so registration needs no allocation.
+inline constexpr int kMaxReclaimerSchemes = 4;
+using DrainFn = void (*)();
+using ParkedVisitor = void (*)(void* ctx, const void* cell,
+                               std::size_t bytes);
+using ParkedWalkFn = void (*)(void* ctx, ParkedVisitor visit);
+struct ReclaimerHooks {
+  std::atomic<ParkedWalkFn> walk{nullptr};  // claim marker
+  std::atomic<DrainFn> drain{nullptr};
+};
+inline ReclaimerHooks* reclaimer_hooks() {
+  static ReclaimerHooks h[kMaxReclaimerSchemes];
+  return h;
+}
+inline void register_reclaimer_hooks(ParkedWalkFn walk, DrainFn drain) {
+  ReclaimerHooks* hs = reclaimer_hooks();
+  for (int i = 0; i < kMaxReclaimerSchemes; ++i) {
+    ParkedWalkFn expected = nullptr;
+    if (hs[i].walk.compare_exchange_strong(expected, walk,
+                                           std::memory_order_acq_rel)) {
+      hs[i].drain.store(drain, std::memory_order_release);
+      return;
+    }
+  }
+}
+inline void drain_all_schemes() {
+  ReclaimerHooks* hs = reclaimer_hooks();
+  for (int i = 0; i < kMaxReclaimerSchemes; ++i) {
+    if (DrainFn fn = hs[i].drain.load(std::memory_order_acquire)) fn();
+  }
+}
 }  // namespace detail
+
+// True while any ReclaimPause (any scheme's pause) is in force.
+inline bool reclaim_paused() {
+  return detail::pause_depth_cell().load(std::memory_order_relaxed) > 0;
+}
+
+// Visit every cell currently parked in any scheme's limbo/retire lists
+// (all thread slots).  Single-threaded verification use only — the
+// crash drivers call it after a simulated crash unwound, with every
+// worker dead or parked.
+inline void for_each_parked_cell(void* ctx, detail::ParkedVisitor v) {
+  detail::ReclaimerHooks* hs = detail::reclaimer_hooks();
+  for (int i = 0; i < detail::kMaxReclaimerSchemes; ++i) {
+    if (detail::ParkedWalkFn fn =
+            hs[i].walk.load(std::memory_order_acquire)) {
+      fn(ctx, v);
+    }
+  }
+}
 
 inline Stats stats() { return detail::tl_stats; }
 inline void reset_stats() { detail::tl_stats = Stats{}; }
@@ -112,6 +180,13 @@ inline void set_slab_source(void* (*fn)(std::size_t)) {
 // so pmem::MmapHeap::attach() re-registers the arena's used extent
 // wholesale — without that, every durable walk after a real kill would
 // reject the very first mapped node it reached.
+//
+// The vector is kept sorted by base with adjacent/overlapping extents
+// coalesced: consecutive slabs carved from a mapped arena (or a lucky
+// allocator run) collapse into one range, and owns() binary-searches.
+// Nightly 50k-point fuzz runs register thousands of slabs and every
+// durable-walk pointer check pays one lookup — the old append +
+// linear-scan form made that O(slabs) per checked pointer.
 class SlabDirectory {
  public:
   static SlabDirectory& instance() {
@@ -121,8 +196,24 @@ class SlabDirectory {
 
   void add(const void* base, std::size_t bytes) {
     const auto lo = reinterpret_cast<std::uintptr_t>(base);
+    const auto hi = lo + bytes;
     std::lock_guard<std::mutex> lock(mu_);
-    ranges_.push_back({lo, lo + bytes});
+    auto it = std::lower_bound(
+        ranges_.begin(), ranges_.end(), lo,
+        [](const Range& r, std::uintptr_t v) { return r.lo < v; });
+    if (it != ranges_.begin() && (it - 1)->hi >= lo) {
+      --it;                        // touches/overlaps predecessor
+      if (it->hi >= hi) return;    // already covered
+      it->hi = hi;
+    } else {
+      it = ranges_.insert(it, {lo, hi});
+    }
+    // Absorb successors the (possibly extended) range now reaches.
+    auto next = it + 1;
+    while (next != ranges_.end() && next->lo <= it->hi) {
+      if (next->hi > it->hi) it->hi = next->hi;
+      next = ranges_.erase(next);
+    }
   }
 
   // Whether p points into some registered slab, at line alignment —
@@ -132,10 +223,17 @@ class SlabDirectory {
     const auto a = reinterpret_cast<std::uintptr_t>(p);
     if ((a & (kCacheLine - 1)) != 0) return false;
     std::lock_guard<std::mutex> lock(mu_);
-    for (const Range& r : ranges_) {
-      if (a >= r.lo && a < r.hi) return true;
-    }
-    return false;
+    auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), a,
+        [](std::uintptr_t v, const Range& r) { return v < r.lo; });
+    if (it == ranges_.begin()) return false;
+    return a < (it - 1)->hi;  // a >= (it-1)->lo by the search
+  }
+
+  // Coalesced extent count; the adjacency-merge unit test pins it.
+  std::size_t range_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ranges_.size();
   }
 
   SlabDirectory(const SlabDirectory&) = delete;
@@ -206,6 +304,12 @@ class NodePool {
     return mapped_slabs_;
   }
 
+  // Accounting surface for the bounded-RSS / no-waste tests.
+  static constexpr std::size_t cell_bytes() { return kCellBytes; }
+  static constexpr std::size_t slab_payload_bytes() {
+    return kSlabPayload;
+  }
+
   NodePool(const NodePool&) = delete;
   NodePool& operator=(const NodePool&) = delete;
 
@@ -231,6 +335,16 @@ class NodePool {
       (kPayloadBytes + kCacheLine - 1) / kCacheLine * kCacheLine;
   static_assert(kCellBytes <= kSlabBytes,
                 "node type larger than one pool slab");
+
+  // Slabs are requested as an exact multiple of the cell size.  When
+  // kCellBytes does not divide 64 KiB, requesting the full kSlabBytes
+  // would strand the tail bytes: the bump window never hands them out
+  // (they cannot hold a whole cell) and on the mmap heap the arena's
+  // bump allocator never gets them back — a permanent per-slab leak of
+  // arena bytes.  Trimming the request leaves them with the allocator
+  // that can still use them.
+  static constexpr std::size_t kSlabPayload =
+      kSlabBytes / kCellBytes * kCellBytes;
 
   struct alignas(kCacheLine) Shard {
     FreeCell* free = nullptr;    // recycled cells, LIFO (cache-hot first)
@@ -260,16 +374,29 @@ class NodePool {
       return cell;
     }
     if (static_cast<std::size_t>(sh.bump_end - sh.bump) < kCellBytes) {
+      // Salvage the outgoing slab before abandoning it: any whole cell
+      // still in the bump window goes to the free list instead of
+      // leaking with the slab.  The kSlabPayload trim makes the window
+      // an exact multiple of the cell size, so this loop is empty on
+      // the trimmed path — it guards extents a source handed out that
+      // the trim never saw.
+      while (static_cast<std::size_t>(sh.bump_end - sh.bump) >=
+             kCellBytes) {
+        auto* fc = reinterpret_cast<FreeCell*>(sh.bump);
+        sh.bump += kCellBytes;
+        fc->next = sh.free;
+        sh.free = fc;
+      }
       std::byte* slab = nullptr;
       bool mapped = false;
       if (auto* src = detail::slab_source_cell().load(
               std::memory_order_acquire)) {
-        slab = static_cast<std::byte*>(src(kSlabBytes));
+        slab = static_cast<std::byte*>(src(kSlabPayload));
         mapped = slab != nullptr;
       }
       if (slab == nullptr) {
         slab = static_cast<std::byte*>(
-            ::operator new(kSlabBytes, std::align_val_t{kCacheLine}));
+            ::operator new(kSlabPayload, std::align_val_t{kCacheLine}));
       }
       {
         std::lock_guard<std::mutex> lock(slabs_mu_);
@@ -279,9 +406,9 @@ class NodePool {
           slabs_.push_back(slab);
         }
       }
-      SlabDirectory::instance().add(slab, kSlabBytes);
+      SlabDirectory::instance().add(slab, kSlabPayload);
       sh.bump = slab;
-      sh.bump_end = slab + kSlabBytes;
+      sh.bump_end = slab + kSlabPayload;
     }
     std::byte* cell = sh.bump;
     sh.bump += kCellBytes;

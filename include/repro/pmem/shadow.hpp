@@ -309,6 +309,32 @@ inline void uncrash() {
   e.undo.clear();
 }
 
+// True if any tracked word in [p, p+bytes) is dirty — stored since the
+// last commit of its line.  A pwb'd-but-unfenced word still counts: at
+// a crash the adversarial coin may drop its line, so it is not durable.
+// The crash-during-reclaim scenario checks this over every parked
+// (retired, unreclaimed) cell: persist-before-retire promises a parked
+// cell's lines were fenced before the cell entered any limbo/batch
+// list, so a dirty word there is a violated ordering, not a race.
+inline bool range_dirty(const void* p, std::size_t bytes) {
+  detail::Engine& e = detail::Engine::instance();
+  const auto base = reinterpret_cast<std::uintptr_t>(p);
+  for (std::uintptr_t line = base & detail::kLineMask;
+       line < base + bytes; line += 64) {
+    detail::Shard& sh = e.shard_for(line);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    auto it = sh.lines.find(line);
+    if (it == sh.lines.end()) continue;
+    for (const detail::Word& w : it->second.words) {
+      if (w.cell != nullptr && w.dirty) {
+        const auto wa = reinterpret_cast<std::uintptr_t>(w.cell);
+        if (wa >= base && wa < base + bytes) return true;
+      }
+    }
+  }
+  return false;
+}
+
 // Durable value of a tracked word, if shadow mode has seen it (tests).
 inline bool durable_value(const void* cell, std::uint64_t& out) {
   detail::Engine& e = detail::Engine::instance();

@@ -13,7 +13,10 @@
 //                              repeated-crash reproducer format): the
 //                              points replay verbatim as chained
 //                              crashes inside recovery via
-//                              CrashPlan::replay_chain.
+//                              CrashPlan::replay_chain.  A
+//                              "scenario":"<name>" field retargets the
+//                              replay at that scenario family (the
+//                              crash-during-reclaim entry uses it).
 //   history_tail_tear.jsonl  — the real failing history the concurrent
 //                              fuzzer dumped for the Isb-Queue
 //                              tail-swing tear (an in-flight enqueue's
@@ -115,6 +118,14 @@ TEST(Corpus, RegressionTriplesReplayCleanAndDeterministic) {
     ASSERT_NE(algo, nullptr) << structure;
     CrashPlan plan;
     plan.seed = 1;  // irrelevant for an explicit {seed, crash_point}
+    static const std::string kScenarioKey = "\"scenario\":\"";
+    if (const std::size_t sc0 = line.find(kScenarioKey);
+        sc0 != std::string::npos) {
+      const std::size_t sc1 = sc0 + kScenarioKey.size();
+      const std::string sc = line.substr(sc1, line.find('"', sc1) - sc1);
+      ASSERT_TRUE(harness::scenario_from_name(sc.c_str(), plan.scenario))
+          << line;
+    }
     std::vector<std::uint64_t> chain;
     if (meta_chain(line, chain)) {
       plan.scenario = harness::ScenarioKind::repeated_crash;
@@ -141,7 +152,7 @@ TEST(Corpus, RegressionTriplesReplayCleanAndDeterministic) {
     EXPECT_EQ(a.total_ops, b.total_ops) << structure;
     ++entries;
   }
-  EXPECT_GE(entries, 4) << "corpus lost entries";
+  EXPECT_GE(entries, 6) << "corpus lost entries";
 }
 
 TEST(Corpus, TailTearHistoryStillRejected) {

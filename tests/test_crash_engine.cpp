@@ -389,6 +389,86 @@ TEST(ChainFuzz, UnmutatedDtListSurvives5000ChainedPoints) {
 
 #endif  // REPRO_MUTATE_DROP_RECOVERY_FENCE
 
+// ---------------------------------------------------------------------
+// Crash-during-reclaim scenario (persist-before-retire adversary)
+// ---------------------------------------------------------------------
+
+CrashPlan reclaim_plan(int points) {
+  CrashPlan p = quick_plan(points);
+  p.scenario = harness::ScenarioKind::reclaim_crash;
+  return p;
+}
+
+TEST(ReclaimFuzz, ReclaimCrashReplayIsDeterministic) {
+  const AlgoEntry& isb = algo("Isb-Opt");
+  const CrashPlan plan = reclaim_plan(0);
+  FuzzReport a, b;
+  harness::fuzz_one(isb, plan, 0xABCDEFull, 37, 0, a);
+  harness::fuzz_one(isb, plan, 0xABCDEFull, 37, 0, b);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.violations, 0);
+  EXPECT_EQ(a.crashes, 1);
+}
+
+// The full reclaimer matrix under the erase-biased crash-during-
+// reclaim mix: every scheme's parked cells must be durably clean at
+// every crash (persist-before-retire), and recovery must still satisfy
+// the detectability contract.  The deeper sweep runs in the CI
+// reclaim-fuzz figure; this pins each scheme's wiring in-tree.
+TEST(ReclaimFuzz, ReclaimerMatrixSurvivesReclaimCrashFuzzing) {
+  for (const char* name :
+       {"Isb-List-HP", "Isb-Queue-HP", "DT-HashMap-HP", "Isb-List-POP",
+        "Isb-Queue-POP", "DT-HashMap-POP"}) {
+    const FuzzReport rep =
+        harness::fuzz_structure(algo(name), reclaim_plan(150));
+    EXPECT_EQ(rep.violations, 0)
+        << name << ": " << (rep.failures.empty()
+                                ? "?"
+                                : rep.failures.front().what);
+    EXPECT_GT(rep.crashes, 0) << name;
+  }
+}
+
+#ifdef REPRO_MUTATE_DROP_RETIRE_PERSIST
+
+// Mutated build: retire() parks nodes without flushing+fencing their
+// lines first.  Isb-Opt's optimized profile leaves erase post_update
+// flushes unfenced, so a crash landing between a retire and the
+// thread's next fence finds the parked cell's lines still pending —
+// the scenario's parked-cell walk must report it well within 2000
+// points.
+TEST(ReclaimFuzz, DroppedRetirePersistIsDetectedWithin2000Points) {
+  const AlgoEntry& isb = algo("Isb-Opt");
+  CrashPlan plan = reclaim_plan(2000);
+  FuzzReport rep;
+  int used = 0;
+  const std::uint64_t base = plan.effective_seed();
+  for (; used < plan.points && rep.violations == 0; ++used) {
+    harness::fuzz_one(isb, plan,
+                      harness::mix_seed(base,
+                                        static_cast<std::uint64_t>(used)),
+                      0, used, rep);
+  }
+  EXPECT_GT(rep.violations, 0)
+      << "mutation not detected in " << used << " crash points";
+}
+
+#else
+
+// Unmutated build: the same structure must survive the nightly budget
+// (the other direction of the mutation self-test).
+TEST(ReclaimFuzz, UnmutatedIsbOptSurvives5000ReclaimPoints) {
+  const FuzzReport rep =
+      harness::fuzz_structure(algo("Isb-Opt"), reclaim_plan(5000));
+  EXPECT_EQ(rep.violations, 0)
+      << (rep.failures.empty() ? "?" : rep.failures.front().what);
+  EXPECT_GT(rep.crashes, 2500);
+}
+
+#endif  // REPRO_MUTATE_DROP_RETIRE_PERSIST
+
 #ifdef REPRO_MUTATE_DROP_PFENCE
 
 // Mutated build: DtList is missing its post-update ordering fence, so

@@ -59,8 +59,9 @@ TEST(Registry, GlobSelection) {
   const auto isbs = reg.select("Isb*");
   // Isb, Isb-Opt, Isb-noROopt, Isb-Opt-noROopt, Isb-HashMap,
   // Isb-HashMap-Opt, Isb-Queue, Isb-Exchanger, Isb-leak (the
-  // no-reclaim ablation)
-  EXPECT_EQ(isbs.size(), 9u);
+  // no-reclaim ablation), plus the reclaimer matrix's Isb-List-HP/POP
+  // and Isb-Queue-HP/POP
+  EXPECT_EQ(isbs.size(), 13u);
   // Isb-Queue, Log-Queue, MS-Queue
   EXPECT_EQ(reg.select("*-Queue").size(), 3u);
   EXPECT_TRUE(glob_match("*Queue", "MS-Queue"));
@@ -84,14 +85,14 @@ TEST(Registry, KindSelectorMatchesKindName) {
 
 TEST(Registry, AmpersandComposesAtomsConjunctively) {
   const Registry& reg = Registry::instance();
-  // All four hash maps (3 detectable + the volatile baseline)…
+  // All six hash maps (5 detectable + the volatile baseline)…
   const auto all_hm = reg.select("trait:hashmap");
-  ASSERT_EQ(all_hm.size(), 4u);
+  ASSERT_EQ(all_hm.size(), 6u);
   // …every one of them is a set, so kind:set must not narrow it…
-  EXPECT_EQ(reg.select("trait:hashmap&kind:set").size(), 4u);
+  EXPECT_EQ(reg.select("trait:hashmap&kind:set").size(), 6u);
   // …but trait:detectable must drop the Harris baseline.
   const auto det_hm = reg.select("trait:detectable&trait:hashmap");
-  ASSERT_EQ(det_hm.size(), 3u);
+  ASSERT_EQ(det_hm.size(), 5u);
   for (const AlgoEntry* e : det_hm) {
     EXPECT_TRUE(e->has_trait("detectable")) << e->name;
     EXPECT_TRUE(e->has_trait("hashmap")) << e->name;
@@ -289,9 +290,10 @@ TEST(Sinks, CsvGolden) {
       "point_index,figure,algo,mode,dist,key_range,mix,threads,seconds,"
       "total_ops,ops_per_sec,pwb_per_op,pbarrier_per_op,psync_per_op,"
       "coalesced_pwb_per_op,allocs_per_op,retired_per_op,reuse_ratio,"
-      "recovery_us,seed,crash_points,crash_violations,crash_scenario\n"
+      "recovery_us,seed,crash_points,crash_violations,crash_scenario,"
+      "reclaimer\n"
       "7,figX,Algo,count_only,uniform,500,read-intensive,2,0.5,1000,2000,"
-      "2.25,1.5,1,0.25,0.75,0.5,0.95,,42,,,\n");
+      "2.25,1.5,1,0.25,0.75,0.5,0.95,,42,,,,\n");
 }
 
 TEST(Sinks, CsvEmitsCrashScenarioColumn) {
@@ -301,7 +303,27 @@ TEST(Sinks, CsvEmitsCrashScenarioColumn) {
   row.crash_scenario = "repeated-crash";
   sink.row(row);
   const std::string got = os.str();
-  EXPECT_NE(got.find(",,repeated-crash\n"), std::string::npos) << got;
+  EXPECT_NE(got.find(",,repeated-crash,\n"), std::string::npos) << got;
+}
+
+TEST(Sinks, CsvEmitsReclaimerColumn) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  ResultRow row = golden_row();
+  row.reclaimer = "hp";
+  sink.row(row);
+  EXPECT_NE(os.str().find(",,,hp\n"), std::string::npos) << os.str();
+}
+
+TEST(Sinks, JsonlIncludesReclaimerWhenSet) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  ResultRow row = golden_row();
+  row.reclaimer = "pop";
+  sink.row(row);
+  EXPECT_NE(os.str().find("\"reclaimer\":\"pop\"}"),
+            std::string::npos)
+      << os.str();
 }
 
 TEST(Sinks, JsonlGolden) {

@@ -19,7 +19,9 @@
 #include "repro/harness/runner.hpp"
 #include "repro/harness/workload.hpp"
 #include "repro/mem/ebr.hpp"
+#include "repro/mem/hp.hpp"
 #include "repro/mem/pool.hpp"
+#include "repro/mem/pop.hpp"
 #include "repro/pmem/persist.hpp"
 
 namespace {
@@ -225,6 +227,49 @@ TEST(Ebr, PausedRetireTicksParkNodesWithoutRecycling) {
   EXPECT_EQ(dom.limbo_size(), 0u);
 }
 
+// The ReclaimPause-bypass regression (this PR's bugfix): retire()'s
+// stale-limbo drain ran unconditionally, even while reclamation was
+// paused.  Force the epoch/index collision — retire a node at epoch e,
+// advance the epoch by kEpochLists so the next retire hashes to the
+// *same* limbo list (whose recorded epoch is now stale), then retire
+// under a pause.  Pre-fix, the drain recycled the first node in the
+// middle of the pause (the crash engine could see a rewound durable
+// link re-initialised under its verification walk); post-fix the stale
+// items are parked and the final resume frees them.
+TEST(Ebr, StaleLimboDrainRespectsReclaimPause) {
+  EpochDomain& dom = EpochDomain::instance();
+  dom.quiesce();
+  ASSERT_EQ(dom.limbo_size(), 0u);
+
+  CanaryNode* first = NodePool<CanaryNode>::instance().create(kAlive);
+  EbrReclaimer::retire<CanaryNode>(first);
+  ASSERT_EQ(dom.limbo_size(), 1u);
+
+  // Advance by exactly kEpochLists: the next retire's limbo index
+  // collides with `first`'s list.
+  const std::uint64_t e0 = dom.epoch();
+  for (int i = 0; i < repro::mem::kEpochLists; ++i) {
+    ASSERT_TRUE(dom.try_advance()) << "advance " << i;
+  }
+  ASSERT_EQ(dom.epoch(), e0 + repro::mem::kEpochLists);
+
+  const Stats before = repro::mem::stats();
+  dom.pause_reclaim();
+  CanaryNode* second = NodePool<CanaryNode>::instance().create(kAlive);
+  EbrReclaimer::retire<CanaryNode>(second);  // stale-drain path, paused
+  EXPECT_EQ(repro::mem::stats().reclaims, before.reclaims)
+      << "the stale-limbo drain recycled a cell during a ReclaimPause";
+  EXPECT_EQ(first->value.load(std::memory_order_relaxed), kAlive)
+      << "pause bypass: first node reclaimed mid-pause";
+  // `first` parked + `second` in limbo.
+  EXPECT_EQ(dom.limbo_size(), 2u);
+
+  dom.resume_reclaim();  // final resume frees what the pause parked
+  EXPECT_EQ(repro::mem::stats().reclaims, before.reclaims + 1);
+  dom.quiesce();
+  EXPECT_EQ(dom.limbo_size(), 0u);
+}
+
 // Per-thread-death support: the crash driver resets a dead lane's
 // slot before a fresh thread adopts it, so an abandoned pin cannot
 // stall epoch advancement forever.
@@ -390,6 +435,236 @@ TEST(Coalescing, OverflowFallsBackToImmediateAndToggleDisables) {
   repro::pmem::set_coalescing(true);
   EXPECT_EQ(d.flushes, 2u);
   EXPECT_EQ(d.coalesced, 0u);
+}
+
+// The directory keeps extents sorted and coalesced: registering the
+// slab after an existing one must merge, not append — nightly fuzz
+// runs register thousands of slabs and every durable-walk pointer
+// check pays one owns() lookup.
+TEST(Pool, SlabDirectoryCoalescesAdjacentExtents) {
+  auto& dir = repro::mem::SlabDirectory::instance();
+  alignas(64) static char arena[64 * 8];
+
+  dir.add(arena, 64);
+  const std::size_t n0 = dir.range_count();
+  dir.add(arena + 64, 64);  // adjacent: absorbed, not appended
+  EXPECT_EQ(dir.range_count(), n0);
+  EXPECT_TRUE(dir.owns(arena));
+  EXPECT_TRUE(dir.owns(arena + 64));
+  EXPECT_FALSE(dir.owns(arena + 128));  // past the merged extent
+  EXPECT_FALSE(dir.owns(arena + 1));    // unaligned is never a node
+
+  dir.add(arena + 256, 64);  // disjoint (gap at [128, 256)): new extent
+  EXPECT_EQ(dir.range_count(), n0 + 1);
+  EXPECT_FALSE(dir.owns(arena + 128));
+
+  // Bridge the gap: extends the predecessor and absorbs the successor.
+  dir.add(arena + 128, 128);
+  EXPECT_EQ(dir.range_count(), n0);
+  for (std::size_t off = 0; off < 320; off += 64) {
+    EXPECT_TRUE(dir.owns(arena + off)) << "offset " << off;
+  }
+  EXPECT_FALSE(dir.owns(arena + 320));
+
+  dir.add(arena, 320);  // fully covered: a no-op
+  EXPECT_EQ(dir.range_count(), n0);
+}
+
+// A node type whose cell size does not divide the 64 KiB slab; the
+// pool must trim the slab request to a whole number of cells so the
+// tail bytes stay with the allocator (on the mmap heap: with the
+// arena) instead of being stranded behind bump_end forever.
+struct OddNode {
+  explicit OddNode(int v) { data[0] = static_cast<char>(v); }
+  char data[136];  // 136 -> 192-byte cell; 64 KiB % 192 == 64
+};
+
+TEST(Pool, OddCellSizeTrimsSlabTailNoWaste) {
+  using Pool = NodePool<OddNode>;
+  auto& pool = Pool::instance();
+  static_assert(Pool::cell_bytes() == 192);
+  static_assert(Pool::slab_payload_bytes() % Pool::cell_bytes() == 0,
+                "slab requests must be a whole number of cells");
+  static_assert(repro::mem::kSlabBytes - Pool::slab_payload_bytes() <
+                    Pool::cell_bytes(),
+                "the trim may only drop a sub-cell tail");
+  constexpr std::size_t kPerSlab =
+      Pool::slab_payload_bytes() / Pool::cell_bytes();
+
+  // Exactly one slab's worth of cells comes out of one slab; the
+  // (kPerSlab + 1)-th allocation is what forces slab two.
+  const std::int64_t out0 = outstanding_blocks();
+  const std::size_t slabs0 = pool.slab_count();
+  std::vector<OddNode*> nodes;
+  for (std::size_t i = 0; i < kPerSlab; ++i) {
+    nodes.push_back(pool.create(static_cast<int>(i)));
+  }
+  EXPECT_EQ(pool.slab_count(), slabs0 + 1);
+  nodes.push_back(pool.create(0));
+  EXPECT_EQ(pool.slab_count(), slabs0 + 2);
+  EXPECT_EQ(outstanding_blocks() - out0,
+            static_cast<std::int64_t>(kPerSlab + 1));
+
+  // Freed cells all round-trip through the free list: the second wave
+  // allocates no slab and reuses every cell, so no cell of the first
+  // wave was stranded.
+  for (OddNode* n : nodes) pool.destroy(n);
+  EXPECT_EQ(outstanding_blocks(), out0);
+  const Stats s0 = repro::mem::stats();
+  nodes.clear();
+  for (std::size_t i = 0; i < kPerSlab + 1; ++i) {
+    nodes.push_back(pool.create(static_cast<int>(i)));
+  }
+  EXPECT_EQ(pool.slab_count(), slabs0 + 2);
+  EXPECT_EQ(repro::mem::stats().reuses - s0.reuses, kPerSlab + 1);
+  for (OddNode* n : nodes) pool.destroy(n);
+}
+
+// Hazard pointers: a published hazard blocks the scan from freeing the
+// node it names until the guard exits (which clears the slot's
+// hazards).
+TEST(Hp, HazardBlocksScanUntilGuardExit) {
+  using repro::mem::HpDomain;
+  using repro::mem::HpReclaimer;
+  HpDomain& dom = HpDomain::instance();
+  dom.quiesce();
+  ASSERT_EQ(dom.batch_size(), 0u);
+
+  CanaryNode* n = NodePool<CanaryNode>::instance().create(kAlive);
+  const Stats before = repro::mem::stats();
+  {
+    HpDomain::Guard guard;
+    guard.protect(0, n);
+    HpReclaimer::retire<CanaryNode>(n);
+    EXPECT_EQ(dom.batch_size(), 1u);
+    dom.quiesce();  // forced scan: the hazard must keep n parked
+    EXPECT_EQ(dom.batch_size(), 1u);
+    EXPECT_EQ(repro::mem::stats().reclaims, before.reclaims);
+    EXPECT_EQ(n->value.load(std::memory_order_relaxed), kAlive)
+        << "scan freed a hazard-protected node";
+  }
+  dom.quiesce();  // hazards cleared at guard exit: now it frees
+  EXPECT_EQ(dom.batch_size(), 0u);
+  EXPECT_EQ(repro::mem::stats().reclaims, before.reclaims + 1);
+}
+
+// POP: a pinned (lagging) slot stalls the advance — and gets pinged;
+// the slot's next guard entry re-announces and unblocks it.  This is
+// the whole scheme: announcements refresh on demand, not per entry.
+TEST(Pop, LaggingPinStallsAdvanceUntilPingRefresh) {
+  using repro::mem::PopDomain;
+  PopDomain& dom = PopDomain::instance();
+  dom.quiesce();
+
+  { PopDomain::Guard g; }  // pin persists between ops (DEBRA-style)
+  const std::uint64_t e0 = dom.epoch();
+  EXPECT_TRUE(dom.try_advance());  // announce == e0: one advance fits
+  EXPECT_FALSE(dom.try_advance())
+      << "a lagging pin must stall the second advance";
+  // The failed advance pinged this slot; the next guard entry
+  // re-announces the current epoch and clears the ping.
+  { PopDomain::Guard g; }
+  EXPECT_TRUE(dom.try_advance()) << "ping refresh should unblock";
+  EXPECT_EQ(dom.epoch(), e0 + 2);
+  dom.quiesce();
+}
+
+// POP grace periods mirror EBR's: nothing retired under a live pin is
+// recycled until the pin goes quiescent.
+TEST(Pop, GracePeriodBlocksReclaimWhilePinned) {
+  using repro::mem::PopDomain;
+  using repro::mem::PopReclaimer;
+  PopDomain& dom = PopDomain::instance();
+  dom.quiesce();
+  ASSERT_EQ(dom.limbo_size(), 0u);
+
+  CanaryNode* n = NodePool<CanaryNode>::instance().create(kAlive);
+  {
+    PopDomain::Guard guard;
+    PopReclaimer::retire<CanaryNode>(n);
+    EXPECT_EQ(dom.limbo_size(), 1u);
+    for (int i = 0; i < 10; ++i) dom.try_advance();
+    EXPECT_EQ(dom.limbo_size(), 1u);
+    EXPECT_EQ(n->value.load(std::memory_order_relaxed), kAlive)
+        << "node reclaimed while a POP guard was pinned";
+  }
+  const Stats before = repro::mem::stats();
+  dom.quiesce();
+  EXPECT_EQ(dom.limbo_size(), 0u);
+  EXPECT_EQ(repro::mem::stats().reclaims, before.reclaims + 1);
+}
+
+// One ReclaimPause freezes every scheme: concurrent retire storms on
+// EBR, HP and POP all park (limbo / batch growth, zero reclaims) until
+// the pause lifts, then each thread's drain frees its backlog.  The
+// crash engine relies on exactly this — whichever reclaimer the
+// structure under test carries, a single pause stops recycling.
+TEST(Reclaimers, PauseFreezesEverySchemeUntilResume) {
+  using repro::mem::HpDomain;
+  using repro::mem::HpReclaimer;
+  using repro::mem::PopDomain;
+  using repro::mem::PopReclaimer;
+  EpochDomain::instance().quiesce();
+  PopDomain::instance().quiesce();
+  HpDomain::instance().quiesce();
+
+  std::atomic<int> parked{0};
+  std::atomic<bool> resumed{false};
+  // Crosses both kAdvanceEvery (EBR/POP advance ticks) and
+  // kHpScanThreshold (HP scan trigger) while paused.
+  constexpr std::size_t kN = 400;
+
+  auto storm = [&](auto retire_one, auto pending, auto drain) {
+    const Stats s0 = repro::mem::stats();  // thread-local tallies
+    const std::size_t p0 = pending();
+    for (std::size_t i = 0; i < kN; ++i) retire_one();
+    EXPECT_EQ(repro::mem::stats().reclaims, s0.reclaims)
+        << "a retired cell recycled while reclamation was paused";
+    EXPECT_EQ(pending(), p0 + kN);
+    parked.fetch_add(1, std::memory_order_release);
+    while (!resumed.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    drain();
+    EXPECT_EQ(pending(), 0u);
+    EXPECT_GE(repro::mem::stats().reclaims - s0.reclaims, kN);
+  };
+
+  EpochDomain::instance().pause_reclaim();
+  std::vector<std::thread> ws;
+  ws.emplace_back([&] {
+    storm(
+        [] {
+          EbrReclaimer::retire<CanaryNode>(
+              NodePool<CanaryNode>::instance().create(kAlive));
+        },
+        [] { return EpochDomain::instance().limbo_size(); },
+        [] { EpochDomain::instance().quiesce(); });
+  });
+  ws.emplace_back([&] {
+    storm(
+        [] {
+          PopReclaimer::retire<CanaryNode>(
+              NodePool<CanaryNode>::instance().create(kAlive));
+        },
+        [] { return PopDomain::instance().limbo_size(); },
+        [] { PopDomain::instance().quiesce(); });
+  });
+  ws.emplace_back([&] {
+    storm(
+        [] {
+          HpReclaimer::retire<CanaryNode>(
+              NodePool<CanaryNode>::instance().create(kAlive));
+        },
+        [] { return HpDomain::instance().batch_size(); },
+        [] { HpDomain::instance().quiesce(); });
+  });
+  while (parked.load(std::memory_order_acquire) < 3) {
+    std::this_thread::yield();
+  }
+  EpochDomain::instance().resume_reclaim();
+  resumed.store(true, std::memory_order_release);
+  for (auto& w : ws) w.join();
 }
 
 // Satellite: recover() reads the announcement board, which is never
